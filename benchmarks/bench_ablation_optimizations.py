@@ -1,0 +1,87 @@
+"""§IV-C ablations — the FLASHWARE runtime optimizations DESIGN.md calls
+out: critical-property-only synchronization, necessary-mirror-only
+communication, and overlap of communication with computation.
+
+Each ablation toggles one optimization and reports the change in sync
+traffic / simulated time on a mixed workload.
+"""
+
+import pytest
+
+from common import MODEL, PAPER_CLUSTER, bench_graph
+from repro import FlashEngine, FlashwareOptions
+from repro.algorithms import bc, kcore_basic, mm_opt
+from repro.analysis.tables import format_table
+from repro.runtime.costmodel import CostParams, CostModel
+
+WORKLOADS = {
+    "kc": kcore_basic,
+    "bc": bc,
+    "mm_opt": mm_opt,
+}
+
+
+def run_with(options):
+    graph = bench_graph("OR")
+    out = {}
+    for name, algo in WORKLOADS.items():
+        engine = FlashEngine(graph, num_workers=4, options=options)
+        result = algo(engine)
+        out[name] = (
+            result.engine.metrics.total_sync_values,
+            MODEL.seconds(result.engine.metrics, PAPER_CLUSTER),
+        )
+    return out
+
+
+def run_ablations():
+    return {
+        "all on": run_with(FlashwareOptions()),
+        "no critical-only": run_with(FlashwareOptions(sync_critical_only=False)),
+        "no necessary-mirrors": run_with(FlashwareOptions(necessary_mirrors_only=False)),
+    }
+
+
+def test_ablation_sync_optimizations(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    print()
+    rows = []
+    for config, per_app in results.items():
+        for app, (sync_values, seconds) in per_app.items():
+            rows.append([config, app, sync_values, f"{seconds * 1e3:.3f}ms"])
+    print(
+        format_table(
+            ["config", "app", "sync values", "time"],
+            rows,
+            title="SIV-C ablation: mirror-sync traffic per optimization",
+        )
+    )
+
+    for app in WORKLOADS:
+        base = results["all on"][app][0]
+        assert base <= results["no critical-only"][app][0], app
+        assert base <= results["no necessary-mirrors"][app][0], app
+    # At least one workload must show a real reduction from each knob.
+    assert any(
+        results["all on"][a][0] < results["no critical-only"][a][0] for a in WORKLOADS
+    )
+    assert any(
+        results["all on"][a][0] < results["no necessary-mirrors"][a][0] for a in WORKLOADS
+    )
+
+
+def test_ablation_overlap(benchmark):
+    def run():
+        graph = bench_graph("OR")
+        result = bc(graph, num_workers=4)
+        with_overlap = CostModel(CostParams(overlap=True)).seconds(
+            result.engine.metrics, PAPER_CLUSTER
+        )
+        without = CostModel(CostParams(overlap=False)).seconds(
+            result.engine.metrics, PAPER_CLUSTER
+        )
+        return with_overlap, without
+
+    with_overlap, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\noverlap on: {with_overlap * 1e3:.3f}ms, off: {without * 1e3:.3f}ms")
+    assert with_overlap <= without

@@ -1,0 +1,61 @@
+"""§V-E — piecewise time breakdown vs cluster size.
+
+The paper divides execution into computation / communication /
+serialization / other, and observes that growing the cluster shrinks
+computation nearly linearly while communication and serialization take
+a growing share of the total.
+"""
+
+import pytest
+
+from common import MODEL, bench_graph
+from repro.analysis.tables import format_table
+from repro.runtime.cluster import ClusterSpec
+from repro.suite import run_app
+
+NODE_COUNTS = [1, 2, 4]
+
+
+def run_breakdown():
+    graph = bench_graph("TW")
+    out = {}
+    for nodes in NODE_COUNTS:
+        run = run_app("flash", "tc", graph, num_workers=nodes)
+        out[nodes] = MODEL.estimate(run.metrics, ClusterSpec(nodes=nodes, cores_per_node=32))
+    return out
+
+
+def test_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    print()
+    rows = []
+    for nodes, cost in breakdowns.items():
+        f = cost.fractions()
+        rows.append(
+            [
+                nodes,
+                f"{cost.total * 1e3:.3f}ms",
+                f"{100 * f['compute']:.1f}%",
+                f"{100 * f['communication']:.1f}%",
+                f"{100 * f['serialization']:.1f}%",
+                f"{100 * f['other']:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["nodes", "total", "compute", "comm", "serialize", "other"],
+            rows,
+            title="SV-E: TC on TW time breakdown vs cluster size",
+        )
+    )
+
+    # Shapes: total decreases with nodes; compute share shrinks while the
+    # communication + serialization share grows.
+    assert breakdowns[4].total < breakdowns[1].total
+    comm_share = {
+        n: b.fractions()["communication"] + b.fractions()["serialization"]
+        for n, b in breakdowns.items()
+    }
+    assert comm_share[1] == 0.0  # single node: no network at all
+    assert comm_share[4] >= comm_share[2] >= comm_share[1]
+    assert breakdowns[4].fractions()["compute"] < breakdowns[1].fractions()["compute"]

@@ -1,0 +1,63 @@
+"""Dense-threshold sensitivity — the dual-mode switch's knob ("the
+users can set the threshold to decide if it is dense", §III-C).
+
+Sweeps the EDGEMAP density threshold over BFS on a social graph and
+checks that Ligra's default (|arcs| / 20) sits in the efficient region:
+extreme settings degenerate into always-sparse / always-dense behavior.
+"""
+
+import pytest
+
+from common import MODEL, PAPER_CLUSTER, bench_graph
+from repro import FlashEngine
+from repro.algorithms import bfs
+from repro.analysis.tables import format_table
+
+
+def run_sweep():
+    graph = bench_graph("TW")
+    default = max(graph.num_arcs // 20, 1)
+    thresholds = {
+        "always-dense (1)": 1,
+        "m/100": max(graph.num_arcs // 100, 1),
+        "m/20 (default)": default,
+        "m/5": max(graph.num_arcs // 5, 1),
+        "always-sparse (inf)": 10**12,
+    }
+    out = {}
+    for name, threshold in thresholds.items():
+        engine = FlashEngine(graph, num_workers=4, dense_threshold=threshold)
+        result = bfs(engine, root=0)
+        out[name] = (
+            dict(result.engine.metrics.mode_choices),
+            result.engine.metrics.total_ops,
+            MODEL.seconds(result.engine.metrics, PAPER_CLUSTER),
+        )
+    return out
+
+
+def test_dense_threshold_sweep(benchmark):
+    cells = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    rows = [
+        [name, str(modes), ops, f"{secs * 1e3:.3f}ms"]
+        for name, (modes, ops, secs) in cells.items()
+    ]
+    print(
+        format_table(
+            ["threshold", "mode choices", "ops", "time"],
+            rows,
+            title="Dense-threshold sensitivity (BFS on TW)",
+        )
+    )
+
+    default_secs = cells["m/20 (default)"][2]
+    sparse_secs = cells["always-sparse (inf)"][2]
+    dense_secs = cells["always-dense (1)"][2]
+    # The default adaptive setting beats (or matches) both degenerate
+    # extremes.
+    assert default_secs <= sparse_secs * 1.05
+    assert default_secs <= dense_secs * 1.05
+    # The extremes really do pin the mode.
+    assert "sparse" not in cells["always-dense (1)"][0]
+    assert "dense" not in cells["always-sparse (inf)"][0]

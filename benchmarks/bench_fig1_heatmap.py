@@ -1,0 +1,42 @@
+"""Fig. 1 — heat map of slowdowns of every framework vs the fastest one,
+12 applications x 6 graphs (Table V's eight + SCC, BCC, LPA, MSF).
+
+Cells are bucketed exactly like the paper's legend (1.0 / <2x / <5x /
+<25x / <125x / >125x / failed).  Runs reuse the Table V/VI cache, so
+running the whole harness computes each cell once.
+"""
+
+import pytest
+
+from common import DATASETS, FRAMEWORKS, measured_seconds, slowdown_matrix
+from repro.analysis.tables import heat_bucket, render_heatmap
+
+FIG1_APPS = ["cc", "bfs", "bc", "mis", "mm", "kc", "tc", "gc", "scc", "bcc", "lpa", "msf"]
+
+
+def build():
+    return slowdown_matrix(FIG1_APPS)
+
+
+def test_fig1_heatmap(benchmark):
+    slowdowns = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_heatmap(FIG1_APPS, DATASETS, slowdowns, FRAMEWORKS, title="Fig. 1 heat map"))
+
+    # FLASH's row must be the coolest: count cells at slowdown <= 2x.
+    def cool_cells(fw):
+        return sum(
+            1
+            for app in FIG1_APPS
+            for ds in DATASETS
+            if (s := slowdowns[app][ds][fw]) is not None and s <= 2.0
+        )
+
+    flash_cool = cool_cells("flash")
+    for fw in ("pregel", "gas", "gemini"):
+        assert flash_cool > cool_cells(fw), fw
+
+    # And FLASH never "fails" (inexpressible/not-terminating).
+    for app in FIG1_APPS:
+        for ds in DATASETS:
+            assert slowdowns[app][ds]["flash"] is not None

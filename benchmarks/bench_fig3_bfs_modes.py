@@ -1,0 +1,54 @@
+"""Fig. 3 — BFS under the three propagation modes (sparse/push,
+dense/pull, dual/adaptive) on a social graph (TW), a web graph (UK) and
+a road network (US).
+
+Paper shapes: the dual mode tracks the best fixed mode everywhere; on
+the road network the adaptive switch stays in sparse mode the whole run
+while the dense mode is far slower.
+"""
+
+import pytest
+
+from common import MODEL, PAPER_CLUSTER
+from repro import load_dataset
+from repro.algorithms import bfs
+from repro.analysis.tables import format_table
+
+#: US needs to be large enough that frontier width < |arcs|/20, as at
+#: paper scale (see DESIGN.md §5).
+FIG3_DATASETS = {"TW": 0.1, "UK": 0.15, "US": 1.3}
+MODES = ["sparse", "dense", "auto"]
+
+
+def run_fig3():
+    out = {}
+    for name, scale in FIG3_DATASETS.items():
+        graph = load_dataset(name, scale=scale)
+        for mode in MODES:
+            result = bfs(graph, root=0, num_workers=4, mode=mode)
+            out[(name, mode)] = (
+                MODEL.seconds(result.engine.metrics, PAPER_CLUSTER),
+                dict(result.engine.metrics.mode_choices),
+            )
+    return out
+
+
+def test_fig3_bfs_modes(benchmark):
+    cells = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print()
+    rows = [
+        [name] + [f"{cells[(name, mode)][0] * 1e3:.3f}ms" for mode in MODES]
+        for name in FIG3_DATASETS
+    ]
+    print(format_table(["data"] + MODES, rows, title="Fig. 3: BFS execution (cost-model)"))
+
+    for name in FIG3_DATASETS:
+        sparse, dense, auto = (cells[(name, m)][0] for m in MODES)
+        best, worst = min(sparse, dense), max(sparse, dense)
+        assert auto <= best * 1.2, name  # dual tracks the best mode
+        assert auto < worst, name
+
+    # US panel: adaptive never leaves sparse; dense is much slower.
+    us_auto_choices = cells[("US", "auto")][1]
+    assert us_auto_choices.get("dense", 0) == 0
+    assert cells[("US", "dense")][0] > 3 * cells[("US", "sparse")][0]

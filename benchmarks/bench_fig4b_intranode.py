@@ -1,0 +1,53 @@
+"""Fig. 4(b) — intra-node scalability: TC on TW with 1..32 cores per
+node.
+
+Paper speedups: 1.8x / 2.9x / 4.7x / 6.7x / 7.5x at 2 / 4 / 8 / 16 / 32
+cores — sub-linear past 4 cores because of scheduling cost and memory
+contention, which the cost model captures with an Amdahl fraction.
+"""
+
+import pytest
+
+from common import MODEL, bench_graph
+from repro.analysis import paper
+from repro.analysis.tables import format_table
+from repro.runtime.cluster import ClusterSpec
+from repro.suite import run_app
+
+CORE_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def run_fig4b():
+    graph = bench_graph("TW")
+    run = run_app("flash", "tc", graph, num_workers=4)
+    seconds = {
+        cores: MODEL.seconds(run.metrics, ClusterSpec(nodes=4, cores_per_node=cores))
+        for cores in CORE_COUNTS
+    }
+    return seconds
+
+
+def test_fig4b_core_scaling(benchmark):
+    seconds = benchmark.pedantic(run_fig4b, rounds=1, iterations=1)
+    base = seconds[1]
+    speedups = {c: base / seconds[c] for c in CORE_COUNTS}
+    print()
+    rows = [
+        [c, f"{seconds[c] * 1e3:.3f}ms", f"{speedups[c]:.2f}x",
+         f"{paper.FIG4B_SPEEDUPS.get(c, 1.0)}x"]
+        for c in CORE_COUNTS
+    ]
+    print(
+        format_table(
+            ["cores", "time", "speedup (ours)", "speedup (paper)"],
+            rows,
+            title="Fig. 4(b): TC on TW, varying cores per node",
+        )
+    )
+    for cores, expected in paper.FIG4B_SPEEDUPS.items():
+        assert speedups[cores] == pytest.approx(expected, rel=0.3), cores
+    # Saturation: far below linear at 32 cores.
+    assert speedups[32] < 16
+    # Monotone in cores.
+    ordered = [speedups[c] for c in CORE_COUNTS]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,58 @@
+"""Fig. 4(c, d) — inter-node scalability: TC on TW and CL on UK with
+1, 2, 4 nodes (32 cores each).
+
+Paper speedups from 1 to 4 nodes: 2.0x for TC, 3.5x for CL — CL scales
+better because it is compute-heavy, while added nodes increase
+communication.  The workloads are re-run per node count so the message
+accounting reflects each topology.
+"""
+
+import pytest
+
+from common import MODEL, bench_graph
+from repro.analysis import paper
+from repro.analysis.tables import format_table
+from repro.runtime.cluster import ClusterSpec
+from repro.suite import run_app
+
+NODE_COUNTS = [1, 2, 4]
+
+
+def run_case(app: str, dataset: str):
+    graph = bench_graph(dataset)
+    seconds = {}
+    for nodes in NODE_COUNTS:
+        run = run_app("flash", app, graph, num_workers=nodes)
+        seconds[nodes] = MODEL.seconds(run.metrics, ClusterSpec(nodes=nodes, cores_per_node=32))
+    return seconds
+
+
+def run_fig4cd():
+    return {"tc_tw": run_case("tc", "TW"), "cl_uk": run_case("cl", "UK")}
+
+
+def test_fig4cd_node_scaling(benchmark):
+    cases = benchmark.pedantic(run_fig4cd, rounds=1, iterations=1)
+    print()
+    rows = []
+    speedups = {}
+    for case, seconds in cases.items():
+        speedup = seconds[1] / seconds[4]
+        speedups[case] = speedup
+        rows.append(
+            [case]
+            + [f"{seconds[n] * 1e3:.3f}ms" for n in NODE_COUNTS]
+            + [f"{speedup:.2f}x", f"{paper.FIG4CD_SPEEDUPS[case]}x"]
+        )
+    print(
+        format_table(
+            ["case", "1 node", "2 nodes", "4 nodes", "speedup 1->4 (ours)", "paper"],
+            rows,
+            title="Fig. 4(c,d): inter-node scaling",
+        )
+    )
+    # Shapes: both scale, both sub-linear, CL scales at least as well as
+    # TC (it is the compute-heavy one).
+    for case, speedup in speedups.items():
+        assert 1.0 < speedup < 4.0, case
+    assert speedups["cl_uk"] >= speedups["tc_tw"] * 0.9

@@ -1,0 +1,60 @@
+"""Table VI — the last six applications (SCC, BCC, LPA, MSF, RC, CL):
+FLASH vs the only baseline that can express each (Pregel+ for SCC, BCC,
+MSF; PowerGraph for LPA; none for RC/CL)."""
+
+import pytest
+
+from common import DATASETS, TABLE6_APPS, measured_seconds
+from repro.analysis import paper
+from repro.analysis.tables import format_table
+
+
+def run_table6():
+    cells = {}
+    for app in TABLE6_APPS:
+        baseline_fw = paper.TABLE6_BASELINE[app]
+        for ds in DATASETS:
+            base = measured_seconds(baseline_fw, app, ds) if baseline_fw else None
+            cells[(app, ds)] = (base, measured_seconds("flash", app, ds))
+    return cells
+
+
+def test_table6(benchmark):
+    cells = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    print()
+    rows = []
+    for app in TABLE6_APPS:
+        for ds in DATASETS:
+            base, flash = cells[(app, ds)]
+            pub_base, pub_flash = paper.TABLE6[app][ds]
+            rows.append(
+                [
+                    f"{app}/{ds}",
+                    "-" if base is None else f"{base * 1e3:.2f}ms",
+                    "-" if pub_base is None else str(pub_base),
+                    "-" if flash is None else f"{flash * 1e3:.2f}ms",
+                    str(pub_flash),
+                ]
+            )
+    print(
+        format_table(
+            ["case", "baseline ours", "baseline paper(s)", "flash ours", "flash paper(s)"],
+            rows,
+            title="Table VI — cost-model ms (paper seconds)",
+        )
+    )
+
+    # Shapes: RC/CL have no baseline at all; FLASH beats the Pregel
+    # chains on SCC/BCC in (almost) every dataset and is never far off.
+    scc_wins = bcc_wins = 0
+    for ds in DATASETS:
+        assert cells[("rc", ds)][0] is None and cells[("rc", ds)][1] is not None
+        assert cells[("cl", ds)][0] is None and cells[("cl", ds)][1] is not None
+        base, flash = cells[("scc", ds)]
+        scc_wins += flash < base
+        assert flash < base * 1.3, ("scc", ds)
+        base, flash = cells[("bcc", ds)]
+        bcc_wins += flash < base
+        assert flash < base * 1.3, ("bcc", ds)
+    assert scc_wins >= 4
+    assert bcc_wins >= 4

@@ -1,0 +1,7 @@
+"""Benchmark harness configuration: make `common` importable and let
+report printing through."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,45 @@
+"""Compare all five frameworks on one workload — a miniature of the
+paper's Table V rows, including the inexpressible cells.
+
+Run with:  python examples/framework_comparison.py [app]
+"""
+
+import sys
+
+from repro import load_dataset
+from repro.analysis.tables import format_table
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.costmodel import CostModel
+from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
+
+
+def main(app: str = "mis") -> None:
+    if app not in APPS:
+        raise SystemExit(f"unknown app {app!r}; choose from {APPS}")
+    graph = prepare_graph(app, load_dataset("OR", scale=0.15, directed=(app == "scc")))
+    model = CostModel()
+    print(f"app: {app}, graph: {graph}\n")
+
+    rows = []
+    for framework in FRAMEWORKS:
+        workers = 1 if framework == "ligra" else 4
+        run = run_app(framework, app, graph, num_workers=workers)
+        if run is None:
+            rows.append([framework, "-", "-", "-", "inexpressible"])
+            continue
+        cluster = ClusterSpec(nodes=workers, cores_per_node=32)
+        cost = run.cost(cluster, model)
+        rows.append(
+            [
+                framework,
+                run.metrics.num_supersteps,
+                run.metrics.total_ops,
+                run.metrics.total_messages,
+                f"{cost.total * 1e3:.3f}ms",
+            ]
+        )
+    print(format_table(["framework", "supersteps", "ops", "messages", "sim. time"], rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mis")

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables ``python setup.py develop`` on machines
+where pip cannot fetch build backends (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

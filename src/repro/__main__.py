@@ -1,0 +1,122 @@
+"""Command-line entry point: quick demos and experiment regeneration.
+
+Usage::
+
+    python -m repro list                       # list datasets and apps
+    python -m repro run bfs OR                 # run one app on one dataset
+    python -m repro compare mis OR             # all 5 frameworks, one app
+    python -m repro lloc                       # Table I (measured vs paper)
+
+The full benchmark harness lives in ``benchmarks/`` (pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import load_dataset
+from repro.analysis import paper
+from repro.analysis.lloc import TABLE1_ALGORITHMS, TABLE1_FRAMEWORKS, table1_rows
+from repro.analysis.tables import format_table
+from repro.graph.generators import DATASETS
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.costmodel import CostModel
+from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
+
+
+def cmd_list(_args) -> int:
+    print("datasets (Table III analogues):")
+    for name, spec in DATASETS.items():
+        print(f"  {name:3s} ~ {spec.paper_name:12s} [{spec.domain}] {spec.description}")
+    print(f"\napplications (Table IV): {', '.join(APPS)}")
+    print(f"frameworks: {', '.join(FRAMEWORKS)}")
+    return 0
+
+
+def _load(app: str, dataset: str, scale: float):
+    graph = load_dataset(dataset, scale=scale, directed=(app == "scc"))
+    return prepare_graph(app, graph)
+
+
+def cmd_run(args) -> int:
+    graph = _load(args.app, args.dataset, args.scale)
+    run = run_app("flash", args.app, graph, num_workers=args.workers)
+    cluster = ClusterSpec(nodes=args.workers, cores_per_node=32)
+    cost = run.cost(cluster, CostModel())
+    print(f"{args.app} on {args.dataset} ({graph})")
+    print(f"  metrics: {run.metrics.summary()}")
+    print(f"  simulated time on {args.workers}x32 cores: {cost.total * 1e3:.3f} ms")
+    if run.extra:
+        preview = {k: v for k, v in run.extra.items() if not isinstance(v, (dict, list))}
+        if preview:
+            print(f"  extra: {preview}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _load(args.app, args.dataset, args.scale)
+    model = CostModel()
+    rows = []
+    for framework in FRAMEWORKS:
+        workers = 1 if framework == "ligra" else args.workers
+        run = run_app(framework, args.app, graph, num_workers=workers)
+        if run is None:
+            rows.append([framework, "-", "-", "inexpressible"])
+            continue
+        cluster = ClusterSpec(nodes=workers, cores_per_node=32)
+        rows.append(
+            [
+                framework,
+                run.metrics.num_supersteps,
+                run.metrics.total_messages,
+                f"{run.cost(cluster, model).total * 1e3:.3f}ms",
+            ]
+        )
+    print(format_table(["framework", "supersteps", "messages", "sim. time"], rows,
+                       title=f"{args.app} on {args.dataset} ({graph})"))
+    return 0
+
+
+def cmd_lloc(_args) -> int:
+    measured = dict(table1_rows())
+    rows = []
+    for algo in TABLE1_ALGORITHMS:
+        row = [algo]
+        for fw in TABLE1_FRAMEWORKS:
+            mine = measured[algo][fw]
+            published = paper.TABLE1[algo][fw]
+            row.append(
+                f"{'-' if mine is None else mine}"
+                f"({'-' if published is None else published})"
+            )
+        rows.append(row)
+    print(format_table(["algo"] + TABLE1_FRAMEWORKS, rows,
+                       title="Table I LLoCs: measured(paper)"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets, applications and frameworks")
+
+    for name, help_text in (("run", "run one app on FLASH"),
+                            ("compare", "compare all frameworks on one app")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("app", choices=APPS)
+        p.add_argument("dataset", choices=list(DATASETS))
+        p.add_argument("--scale", type=float, default=0.15)
+        p.add_argument("--workers", type=int, default=4)
+
+    sub.add_parser("lloc", help="Table I LLoC matrix")
+
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare, "lloc": cmd_lloc}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

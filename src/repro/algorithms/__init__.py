@@ -1,0 +1,115 @@
+"""The FLASH algorithm suite — the paper's 14 evaluated applications
+(Table IV) with their optimized variants, plus two extra ISVP staples.
+
+==========  =====================================================
+Abbrev.     Functions
+==========  =====================================================
+CC          :func:`cc_basic`, :func:`cc_opt`
+BFS         :func:`bfs` (with dense/sparse/auto modes)
+BC          :func:`bc`
+MIS         :func:`mis`
+MM          :func:`mm_basic`, :func:`mm_opt`
+KC          :func:`kcore_basic`, :func:`kcore_opt`
+TC          :func:`tc`
+GC          :func:`gc`
+SCC         :func:`scc`
+BCC         :func:`bcc`
+LPA         :func:`lpa`
+MSF         :func:`msf`
+RC          :func:`rc`
+CL          :func:`cl`
+==========  =====================================================
+
+Beyond the evaluated 14, in the spirit of the paper's 72-algorithm
+catalog: :func:`sssp`, :func:`pagerank`,
+:func:`personalized_pagerank`, :func:`hits`, :func:`closeness`,
+:func:`clustering`, :func:`assortativity`, :func:`bridges`,
+:func:`ktruss`, :func:`double_sweep`, :func:`eccentricities`,
+:func:`topological_levels`, :func:`bipartite`,
+:func:`jaccard_similarity`, :func:`lpa_semi`, :func:`mm_weighted`,
+:func:`msf_clustering`, :func:`betweenness_centrality`.
+"""
+
+from repro.algorithms.assortativity import assortativity
+from repro.algorithms.bc import bc, bc_approx, betweenness_centrality
+from repro.algorithms.bcc import bcc
+from repro.algorithms.bfs import bfs
+from repro.algorithms.bipartite import bipartite
+from repro.algorithms.bridges import bridges
+from repro.algorithms.cc import cc_basic, cc_opt, connected_components
+from repro.algorithms.closeness import closeness
+from repro.algorithms.clustering import clustering
+from repro.algorithms.coloring import gc
+from repro.algorithms.common import INF, AlgorithmResult, make_engine
+from repro.algorithms.diameter import double_sweep, eccentricities
+from repro.algorithms.hits import hits
+from repro.algorithms.kcenter import k_center
+from repro.algorithms.kclique import cl
+from repro.algorithms.kcore import kcore_basic, kcore_opt
+from repro.algorithms.ktruss import ktruss
+from repro.algorithms.lpa import lpa, lpa_semi
+from repro.algorithms.mis import mis
+from repro.algorithms.mm import mm_basic, mm_opt
+from repro.algorithms.msf import msf
+from repro.algorithms.maxclique import max_clique
+from repro.algorithms.modularity import modularity
+from repro.algorithms.msf_clustering import msf_clustering
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.paths import harmonic_centrality, shortest_path
+from repro.algorithms.ppr import personalized_pagerank
+from repro.algorithms.rectangle import rc
+from repro.algorithms.scc import scc
+from repro.algorithms.similarity import jaccard_similarity
+from repro.algorithms.sssp import sssp
+from repro.algorithms.topology import has_cycle, topological_levels
+from repro.algorithms.triangle import tc
+from repro.algorithms.wmatching import mm_weighted
+
+__all__ = [
+    "INF",
+    "AlgorithmResult",
+    "assortativity",
+    "bc",
+    "bc_approx",
+    "betweenness_centrality",
+    "bcc",
+    "bfs",
+    "bridges",
+    "cc_basic",
+    "cc_opt",
+    "cl",
+    "closeness",
+    "clustering",
+    "connected_components",
+    "double_sweep",
+    "eccentricities",
+    "gc",
+    "hits",
+    "kcore_basic",
+    "kcore_opt",
+    "ktruss",
+    "lpa",
+    "make_engine",
+    "mis",
+    "mm_basic",
+    "mm_opt",
+    "msf",
+    "pagerank",
+    "personalized_pagerank",
+    "rc",
+    "scc",
+    "sssp",
+    "tc",
+    "bipartite",
+    "has_cycle",
+    "jaccard_similarity",
+    "lpa_semi",
+    "mm_weighted",
+    "msf_clustering",
+    "topological_levels",
+    "k_center",
+    "modularity",
+    "max_clique",
+    "harmonic_centrality",
+    "shortest_path",
+]

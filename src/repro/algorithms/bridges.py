@@ -1,0 +1,54 @@
+"""Bridge detection and articulation points — applications the paper's
+introduction singles out as "almost infeasible" for ISVP models.
+
+Both fall straight out of the biconnected-component decomposition
+(paper Algorithm 19): an edge is a bridge iff it is alone in its BCC,
+and a vertex is an articulation point iff its incident edges span more
+than one BCC (for non-root vertices of each component; roots need two
+or more child subtrees, which the group count also captures).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple, Union
+
+from repro.algorithms.bcc import bcc
+from repro.algorithms.common import AlgorithmResult, make_engine
+from repro.core.engine import FlashEngine
+from repro.graph.graph import Graph
+
+
+def bridges(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """All bridge edges; ``values`` is the bridge list,
+    ``extra['articulation_points']`` the cut vertices."""
+    eng = make_engine(graph_or_engine, num_workers)
+    decomposition = bcc(eng)
+    groups = decomposition.extra["edge_groups"]
+
+    group_sizes = Counter(groups.values())
+    bridge_edges: List[Tuple[int, int]] = sorted(
+        edge for edge, label in groups.items() if group_sizes[label] == 1
+    )
+
+    incident_groups = {}
+    for (s, d), label in groups.items():
+        incident_groups.setdefault(s, set()).add(label)
+        incident_groups.setdefault(d, set()).add(label)
+    articulation = sorted(
+        v for v, labels in incident_groups.items() if len(labels) > 1
+    )
+
+    return AlgorithmResult(
+        "bridges",
+        eng,
+        bridge_edges,
+        iterations=decomposition.iterations,
+        extra={
+            "articulation_points": articulation,
+            "num_bridges": len(bridge_edges),
+        },
+    )

@@ -1,0 +1,42 @@
+"""Closeness centrality — centrality-family extension.
+
+``C(v) = (r - 1) / sum of distances from v`` over the ``r`` vertices
+reachable from ``v`` (the component-local definition, matching
+networkx's default ``wf_improved=False`` on connected graphs).  One BFS
+sweep per requested source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.algorithms.common import INF, AlgorithmResult, make_engine
+from repro.algorithms.diameter import bfs_on_existing
+from repro.core.engine import FlashEngine
+from repro.graph.graph import Graph
+
+
+def closeness(
+    graph_or_engine: Union[Graph, FlashEngine],
+    sources: Optional[Iterable[int]] = None,
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """Closeness centrality for ``sources`` (default: every vertex).
+    ``values[v]`` is 0 for vertices not computed or with no reachable
+    peers."""
+    eng = make_engine(graph_or_engine, num_workers)
+    eng.add_property("dis", INF)
+    n = eng.graph.num_vertices
+    targets = list(sources) if sources is not None else list(range(n))
+
+    values = [0.0] * n
+    total_iterations = 0
+    for v in targets:
+        eng.flashware.state.reset_property("dis")
+        sweep = bfs_on_existing(eng, root=v)
+        total_iterations += sweep.iterations
+        reached = [d for d in sweep.values if d != INF]
+        total = sum(reached)
+        if total > 0:
+            values[v] = (len(reached) - 1) / total
+    return AlgorithmResult("closeness", eng, values, total_iterations)

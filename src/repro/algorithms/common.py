@@ -1,0 +1,94 @@
+"""Shared helpers for the FLASH algorithm suite.
+
+Conventions used across :mod:`repro.algorithms`:
+
+* Every algorithm accepts either a :class:`~repro.graph.graph.Graph`
+  (an engine is created for it) or a pre-built
+  :class:`~repro.core.engine.FlashEngine`, and returns an
+  :class:`AlgorithmResult` carrying the per-vertex values, the engine
+  (whose ``metrics`` the benchmarks read), and the iteration count.
+* ``INF`` is the sentinel the paper's listings call ``INF``.
+* Collection-valued properties (sets/lists/dicts) must be copied before
+  mutation so BSP snapshot semantics hold; ``local_set`` / ``local_list``
+  / ``local_dict`` implement the copy-on-first-write idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.core.engine import FlashEngine
+from repro.core.vertex import WorkingView
+from repro.graph.graph import Graph
+
+#: The paper listings' INF sentinel.  A float infinity compares above any
+#: vertex id and is ignored by property-derived edge sets (non-int).
+INF = float("inf")
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of one algorithm run."""
+
+    name: str
+    engine: FlashEngine
+    values: Any
+    iterations: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AlgorithmResult({self.name!r}, iterations={self.iterations}, "
+            f"supersteps={self.engine.metrics.num_supersteps})"
+        )
+
+
+def make_engine(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+    **engine_kwargs,
+) -> FlashEngine:
+    """Return the given engine, or build one for the given graph."""
+    if isinstance(graph_or_engine, FlashEngine):
+        return graph_or_engine
+    return FlashEngine(graph_or_engine, num_workers=num_workers, **engine_kwargs)
+
+
+def local_set(view: WorkingView, name: str) -> set:
+    """A BSP-safe mutable set for property ``name`` of ``view``.
+
+    On first access within a kernel invocation the current set is copied
+    into the view's staged buffer; subsequent calls return the same staged
+    copy, so in-place mutation never leaks into the current snapshot.
+    """
+    staged = view.staged
+    if name not in staged:
+        setattr(view, name, set(getattr(view, name)))
+    return staged[name]
+
+
+def local_list(view: WorkingView, name: str) -> list:
+    """Like :func:`local_set` for list-valued properties."""
+    staged = view.staged
+    if name not in staged:
+        setattr(view, name, list(getattr(view, name)))
+    return staged[name]
+
+
+def local_dict(view: WorkingView, name: str) -> dict:
+    """Like :func:`local_set` for dict-valued properties."""
+    staged = view.staged
+    if name not in staged:
+        setattr(view, name, dict(getattr(view, name)))
+    return staged[name]
+
+
+def rank_above(s, d) -> bool:
+    """The degree-then-id total order used by TC/GC/CL to orient edges:
+    True when ``s`` outranks ``d``."""
+    return (s.deg > d.deg) or (s.deg == d.deg and s.id > d.id)

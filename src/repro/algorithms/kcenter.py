@@ -1,0 +1,76 @@
+"""Greedy k-center (farthest-first traversal) — the classic 2-approximate
+facility-placement heuristic, built from BFS sweeps (traversal family).
+
+Pick any start; repeatedly add the vertex farthest from the current
+center set (multi-source BFS per round).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.algorithms.common import INF, AlgorithmResult, make_engine
+from repro.core.engine import FlashEngine
+from repro.core.primitives import ctrue
+from repro.graph.graph import Graph
+
+
+def k_center(
+    graph_or_engine: Union[Graph, FlashEngine],
+    k: int,
+    start: int = 0,
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """``values`` = distance from each vertex to its nearest center;
+    ``extra['centers']`` the chosen centers and ``extra['radius']`` the
+    covering radius (over reachable vertices)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    eng = make_engine(graph_or_engine, num_workers)
+    n = eng.graph.num_vertices
+    eng.add_property("dis", INF)
+
+    def update(s, d):
+        d.dis = s.dis + 1
+        return d
+
+    def unvisited_or_farther(s, d):
+        return s.dis + 1 < d.dis
+
+    def keep(t, d):
+        d.dis = min(d.dis, t.dis)
+        return d
+
+    centers: List[int] = []
+    next_center = start
+    iterations = 0
+    while len(centers) < min(k, n):
+        centers.append(next_center)
+
+        def seed(v, c=next_center):
+            if v.id == c:
+                v.dis = 0
+            return v
+
+        frontier = eng.vertex_map(eng.subset([next_center]), ctrue, seed, label="kcenter:seed")
+        while eng.size(frontier) != 0:
+            iterations += 1
+            frontier = eng.edge_map(
+                frontier, eng.E, unvisited_or_farther, update, ctrue, keep, label="kcenter:bfs"
+            )
+        distances = eng.values("dis")
+        reachable = [(d, v) for v, d in enumerate(distances) if d != INF]
+        farthest_dist, farthest = max(reachable) if reachable else (0, start)
+        if farthest_dist == 0:
+            break  # everything reachable is already a center
+        next_center = farthest
+
+    distances = eng.values("dis")
+    radius = max((d for d in distances if d != INF), default=0)
+    return AlgorithmResult(
+        "k_center",
+        eng,
+        distances,
+        iterations,
+        extra={"centers": centers, "radius": int(radius)},
+    )

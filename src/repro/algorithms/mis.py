@@ -1,0 +1,86 @@
+"""Maximal Independent Set (paper Algorithm 13, Luby-style [39]).
+
+Each round, every still-active vertex with the locally minimal priority
+``r = deg * |V| + id`` joins the set; its neighbors die.  The per-round
+"blocked" flag ``b`` is cleared with the dense kernel over the edges
+targeting the active set — ``join(E, A)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.algorithms.common import AlgorithmResult, make_engine
+from repro.core.engine import FlashEngine
+from repro.core.edgeset import join
+from repro.core.primitives import bind, ctrue
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+
+
+def mis(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+    max_iterations: int = 100_000,
+) -> AlgorithmResult:
+    """A maximal independent set; ``values`` is a per-vertex bool list."""
+    eng = make_engine(graph_or_engine, num_workers)
+    n = eng.graph.num_vertices
+    eng.add_property("d", False)  # dead (a neighbor entered the set)
+    eng.add_property("b", True)  # still a candidate this round
+    eng.add_property("r", 0)  # priority
+
+    def init(v, num_vertices):
+        v.d = False
+        v.b = True
+        v.r = v.deg * num_vertices + v.id
+        return v
+
+    def cond1(v):
+        return v.b == True  # noqa: E712 - mirrors the paper listing
+
+    def f1(s, d):
+        return s.d == False and s.r < d.r  # noqa: E712
+
+    def update1(s, d):
+        d.b = False
+        return d
+
+    def r1(t, d):
+        return t
+
+    def cond2(v):
+        return v.d == False  # noqa: E712
+
+    def update2(s, d):
+        return d
+
+    def r2(t, d):
+        d.d = True
+        return d
+
+    def filter_blocked(v):
+        return v.b == False  # noqa: E712
+
+    def unblock(v):
+        v.b = True
+        return v
+
+    active = eng.vertex_map(eng.V, ctrue, bind(init, n), label="mis:init")
+    in_set: List[int] = []
+    iterations = 0
+    while eng.size(active) != 0:
+        iterations += 1
+        if iterations > max_iterations:
+            raise ReproError("mis failed to converge")
+        # Block every active vertex that has a live lower-priority neighbor.
+        eng.edge_map(eng.V, join(eng.E, active), f1, update1, cond1, r1, label="mis:block")
+        winners = eng.vertex_map(active, cond1, label="mis:winners")
+        in_set.extend(winners)
+        # Kill the winners' neighbors.
+        killed = eng.edge_map_sparse(winners, eng.E, ctrue, update2, cond2, r2, label="mis:kill")
+        active = eng.vertex_map(active.minus(killed).minus(winners), filter_blocked, unblock, label="mis:next")
+
+    members = set(in_set)
+    values = [v in members for v in range(n)]
+    return AlgorithmResult("mis", eng, values, iterations, extra={"size": len(members)})

@@ -1,0 +1,60 @@
+"""Single-linkage k-clustering via the minimum spanning forest — the
+classic MSF application (the paper lists MSF "invoked as a subroutine in
+many other algorithms" [50]-[52]; cutting the k-1 heaviest forest edges
+yields the single-linkage clustering with k clusters).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.algorithms.common import AlgorithmResult, make_engine
+from repro.algorithms.msf import msf
+from repro.core.dsu import DSU
+from repro.core.engine import FlashEngine
+from repro.graph.graph import Graph
+
+
+def msf_clustering(
+    graph_or_engine: Union[Graph, FlashEngine],
+    k: int,
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """Cluster labels per vertex (min member id per cluster).
+
+    ``k`` is a *target*: if the graph already has more than ``k``
+    connected components, no edges are cut and the component count is
+    returned as-is.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    eng = make_engine(graph_or_engine, num_workers)
+    forest = msf(eng)
+    edges = sorted(forest.values, key=lambda e: (e[2], e[0], e[1]))
+
+    n = eng.graph.num_vertices
+    components = n - len(edges)
+    cuts = max(0, min(len(edges), k - components))
+    kept = edges[: len(edges) - cuts] if cuts else edges
+
+    dsu = DSU(n)
+    for s, d, _ in kept:
+        dsu.union(s, d)
+    # Label each cluster by its minimum member id.
+    labels = dsu.labels()
+    min_member = {}
+    for v in range(n):
+        root = labels[v]
+        min_member[root] = min(min_member.get(root, v), v)
+    values = [min_member[labels[v]] for v in range(n)]
+
+    return AlgorithmResult(
+        "msf_clustering",
+        eng,
+        values,
+        iterations=forest.iterations,
+        extra={
+            "num_clusters": len(set(values)),
+            "cut_edges": edges[len(edges) - cuts :] if cuts else [],
+        },
+    )

@@ -1,0 +1,92 @@
+"""Shortest-path extraction and harmonic centrality — rounding out the
+traversal/centrality families.
+
+``shortest_path`` materializes an actual path (BFS with parent
+pointers); ``harmonic_centrality`` is the disconnected-robust variant of
+closeness (sum of reciprocal distances).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.algorithms.common import INF, AlgorithmResult, make_engine
+from repro.core.engine import FlashEngine
+from repro.core.primitives import bind, ctrue
+from repro.graph.graph import Graph
+
+
+def shortest_path(
+    graph_or_engine: Union[Graph, FlashEngine],
+    source: int,
+    target: int,
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """An actual shortest path (hop count) from ``source`` to ``target``;
+    ``values`` is the vertex list, or ``[]`` when unreachable."""
+    eng = make_engine(graph_or_engine, num_workers)
+    eng.add_property("dis", INF)
+    eng.add_property("par", -1)
+
+    def init(v, s):
+        if v.id == s:
+            v.dis = 0
+        return v
+
+    def relax(s, d):
+        d.dis = s.dis + 1
+        d.par = s.id
+        return d
+
+    def unvisited(v):
+        return v.dis == INF
+
+    def keep(t, d):
+        return t
+
+    eng.vertex_map(eng.V, ctrue, bind(init, source), label="sp:init")
+    frontier = eng.subset([source])
+    iterations = 0
+    while eng.size(frontier) != 0 and eng.value(target, "dis") == INF:
+        iterations += 1
+        frontier = eng.edge_map(frontier, eng.E, ctrue, relax, unvisited, keep, label="sp:step")
+
+    path: List[int] = []
+    if eng.value(target, "dis") != INF:
+        v = target
+        while v != -1:
+            path.append(v)
+            v = eng.value(v, "par") if v != source else -1
+        path.reverse()
+    return AlgorithmResult(
+        "shortest_path",
+        eng,
+        path,
+        iterations,
+        extra={"length": len(path) - 1 if path else None},
+    )
+
+
+def harmonic_centrality(
+    graph_or_engine: Union[Graph, FlashEngine],
+    sources: Optional[Iterable[int]] = None,
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """Harmonic centrality ``H(v) = sum over u != v of 1 / d(u, v)`` —
+    well-defined on disconnected graphs (unreachable pairs contribute 0).
+    One BFS per requested vertex (default: all)."""
+    from repro.algorithms.diameter import bfs_on_existing
+
+    eng = make_engine(graph_or_engine, num_workers)
+    eng.add_property("dis", INF)
+    n = eng.graph.num_vertices
+    targets = list(sources) if sources is not None else list(range(n))
+
+    values = [0.0] * n
+    total_iterations = 0
+    for v in targets:
+        eng.flashware.state.reset_property("dis")
+        sweep = bfs_on_existing(eng, root=v)
+        total_iterations += sweep.iterations
+        values[v] = sum(1.0 / d for d in sweep.values if d not in (0, INF))
+    return AlgorithmResult("harmonic", eng, values, total_iterations)

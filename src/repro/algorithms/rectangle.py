@@ -1,0 +1,63 @@
+"""Rectangle (4-cycle) Counting (paper Algorithm 22).
+
+Counts cycles of length 4 by intersecting neighbor sets of *two-hop*
+pairs — enumerated through the virtual edge set ``join(E, E)``, the
+beyond-neighborhood communication no vertex-centric baseline offers
+(which is why Table VI has no RC baseline at all).
+
+For a two-hop pair ``(s, d)`` with ``s.id < d.id``, every unordered pair
+of common neighbors larger than ``s`` closes one rectangle; anchoring at
+the minimum vertex counts each rectangle exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.algorithms.common import AlgorithmResult, local_set, make_engine
+from repro.core.engine import FlashEngine
+from repro.core.edgeset import join
+from repro.core.primitives import ctrue
+from repro.graph.graph import Graph
+
+
+def rc(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+) -> AlgorithmResult:
+    """Rectangle count (``extra['total']`` is the global count)."""
+    eng = make_engine(graph_or_engine, num_workers)
+    eng.add_property("count", 0)
+    eng.add_property("out", factory=set)
+    eng.add_property("out_l", factory=set)
+
+    def update1(s, d):
+        if s.id > d.id:
+            local_set(d, "out_l").add(s.id)
+        local_set(d, "out").add(s.id)
+        return d
+
+    def r1(t, d):
+        local_set(d, "out") .update(t.out)
+        local_set(d, "out_l").update(t.out_l)
+        return d
+
+    def f2(s, d):
+        return s.id < d.id
+
+    def update2(s, d):
+        eng.charge(d.id, max(min(len(s.out_l), len(d.out)), 1))  # intersection work
+        common = len(s.out_l & d.out)
+        d.count = d.count + common * (common - 1) // 2
+        return d
+
+    def r2(t, d):
+        d.count = d.count + t.count
+        return d
+
+    U = eng.vertex_map(eng.V, label="rc:init")
+    U = eng.edge_map(U, eng.E, ctrue, update1, ctrue, r1, label="rc:collect")
+    eng.edge_map(U, join(eng.E, eng.E), f2, update2, ctrue, r2, label="rc:count")
+
+    counts = eng.values("count")
+    return AlgorithmResult("rc", eng, counts, iterations=2, extra={"total": sum(counts)})

@@ -1,0 +1,73 @@
+"""Jaccard neighborhood similarity — link prediction over two-hop pairs,
+one more use of the beyond-neighborhood edge set ``join(E, E)`` that
+only FLASH expresses (cf. RC, Appendix B-K).
+
+For every two-hop pair (u, v):  J(u, v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|.
+Typical use: the highest-J non-adjacent pairs are link recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from repro.algorithms.common import AlgorithmResult, local_dict, local_set, make_engine
+from repro.core.edgeset import join
+from repro.core.engine import FlashEngine
+from repro.core.primitives import ctrue
+from repro.graph.graph import Graph
+
+
+def jaccard_similarity(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+    top_k: int = 10,
+) -> AlgorithmResult:
+    """``values`` maps two-hop pairs ``(u, v)`` (u < v) to their Jaccard
+    coefficient; ``extra['recommendations']`` holds the ``top_k``
+    non-adjacent pairs by similarity."""
+    eng = make_engine(graph_or_engine, num_workers)
+    eng.add_property("nbrs", factory=set)
+    eng.add_property("sims", factory=dict)
+
+    def collect(s, d):
+        local_set(d, "nbrs").add(s.id)
+        return d
+
+    def merge(t, d):
+        local_set(d, "nbrs").update(t.nbrs)
+        return d
+
+    def ordered(s, d):
+        return s.id < d.id
+
+    def score(s, d):
+        eng.charge(d.id, max(min(len(s.nbrs), len(d.nbrs)), 1))
+        union = len(s.nbrs | d.nbrs)
+        if union:
+            local_dict(d, "sims")[s.id] = len(s.nbrs & d.nbrs) / union
+        return d
+
+    def combine(t, d):
+        local_dict(d, "sims").update(t.sims)
+        return d
+
+    U = eng.vertex_map(eng.V, label="jac:init")
+    eng.edge_map(U, eng.E, ctrue, collect, ctrue, merge, label="jac:collect")
+    eng.edge_map(U, join(eng.E, eng.E), ordered, score, ctrue, combine, label="jac:score")
+
+    pairs: Dict[Tuple[int, int], float] = {}
+    for v in range(eng.graph.num_vertices):
+        for u, sim in eng.value(v, "sims").items():
+            pairs[(u, v)] = sim
+
+    recommendations = sorted(
+        ((pair, sim) for pair, sim in pairs.items() if not eng.graph.has_edge(*pair)),
+        key=lambda item: (-item[1], item[0]),
+    )[:top_k]
+    return AlgorithmResult(
+        "jaccard",
+        eng,
+        pairs,
+        iterations=2,
+        extra={"recommendations": recommendations},
+    )

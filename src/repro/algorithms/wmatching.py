@@ -1,0 +1,84 @@
+"""Greedy weighted matching — the heaviest-neighbor handshake, a
+half-approximation to maximum-weight matching (Preis/Avis style; the
+paper cites weighted-matching heuristics [52] among MSF's users).
+
+Same handshake skeleton as MM (Algorithm 11), with proposals directed
+at the *heaviest* incident unmatched neighbor instead of the largest id
+(ties break to the larger id, keeping runs deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.algorithms.common import AlgorithmResult, make_engine
+from repro.core.engine import FlashEngine
+from repro.core.primitives import ctrue
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+
+
+def mm_weighted(
+    graph_or_engine: Union[Graph, FlashEngine],
+    num_workers: int = 4,
+    max_iterations: int = 100_000,
+) -> AlgorithmResult:
+    """Partner per vertex (-1 unmatched); ``extra['total_weight']`` is
+    the matching's weight (≥ half the maximum-weight matching)."""
+    eng = make_engine(graph_or_engine, num_workers)
+    graph = eng.graph
+    eng.add_property("s", -1)  # matched partner
+    eng.add_property("p", -1)  # current heaviest proposer
+
+    def weight_key(u: int, v: int) -> Tuple[float, int]:
+        return (graph.weight(u, v), u)
+
+    def reset(v):
+        v.p = -1
+        return v
+
+    def unmatched(v):
+        return v.s == -1
+
+    def propose(s, d):
+        if d.p == -1 or weight_key(s.id, d.id) > weight_key(d.p, d.id):
+            d.p = s.id
+        return d
+
+    def heavier(t, d):
+        if d.p == -1 or (t.p != -1 and weight_key(t.p, d.id) > weight_key(d.p, d.id)):
+            d.p = t.p
+        return d
+
+    def mutual(s, d):
+        return s.p == d.id and d.p == s.id
+
+    def match(s, d):
+        d.s = s.id
+        return d
+
+    def keep(t, d):
+        return t
+
+    frontier = eng.vertex_map(eng.V, ctrue, reset, label="wmm:init")
+    iterations = 0
+    while eng.size(frontier) != 0:
+        iterations += 1
+        if iterations > max_iterations:
+            raise ReproError("mm_weighted failed to converge")
+        frontier = eng.vertex_map(frontier, unmatched, reset, label="wmm:reset")
+        frontier = eng.edge_map(frontier, eng.E, ctrue, propose, unmatched, heavier, label="wmm:propose")
+        eng.edge_map(frontier, eng.E, mutual, match, unmatched, keep, label="wmm:match")
+
+    partner = eng.values("s")
+    pairs: List[Tuple[int, int]] = [
+        (v, p) for v, p in enumerate(partner) if p != -1 and v < p
+    ]
+    total = sum(graph.weight(u, v) for u, v in pairs)
+    return AlgorithmResult(
+        "mm_weighted",
+        eng,
+        partner,
+        iterations,
+        extra={"matching": pairs, "total_weight": total},
+    )

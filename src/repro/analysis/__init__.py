@@ -1,0 +1,15 @@
+"""Evaluation tooling: LLoC counting (Table I), table/heat-map rendering
+(Fig. 1), and the paper's published numbers for side-by-side reports."""
+
+from repro.analysis.explain import explain, hotspots
+from repro.analysis.lloc import count_lloc, table1_rows
+from repro.analysis.tables import format_table, render_heatmap
+
+__all__ = [
+    "count_lloc",
+    "explain",
+    "format_table",
+    "hotspots",
+    "render_heatmap",
+    "table1_rows",
+]

@@ -1,0 +1,94 @@
+"""Execution explainer: turn an engine's metrics into a human-readable
+superstep narrative — the debugging/tuning companion the middleware
+makes possible (every superstep is labeled by the algorithm).
+
+Example::
+
+    result = bfs(graph, root=0)
+    print(explain(result.engine.metrics))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import Metrics
+
+
+def explain(
+    metrics: Metrics,
+    cluster: Optional[ClusterSpec] = None,
+    model: Optional[CostModel] = None,
+    limit: int = 40,
+) -> str:
+    """A per-superstep table (kind, label, frontier, ops, messages,
+    simulated time) followed by aggregate totals.
+
+    ``limit`` caps the number of superstep rows (the slowest ones are
+    kept); pass 0 for all.
+    """
+    if cluster is None:
+        cluster = ClusterSpec(nodes=metrics.num_workers, cores_per_node=32)
+    model = model or CostModel()
+
+    costed = [
+        (rec, model.superstep_cost(rec, cluster).total) for rec in metrics.records
+    ]
+    shown = costed
+    dropped = 0
+    if limit and len(costed) > limit:
+        keep = set(
+            id(rec)
+            for rec, _ in sorted(costed, key=lambda item: -item[1])[:limit]
+        )
+        shown = [(rec, cost) for rec, cost in costed if id(rec) in keep]
+        dropped = len(costed) - len(shown)
+
+    rows: List[List] = []
+    for rec, cost in shown:
+        rows.append(
+            [
+                rec.index,
+                rec.kind,
+                rec.label or "-",
+                rec.frontier_in,
+                rec.max_worker_ops,
+                rec.total_messages,
+                f"{cost * 1e6:.1f}us",
+            ]
+        )
+    table = format_table(
+        ["step", "kind", "label", "frontier", "max ops", "messages", "time"],
+        rows,
+        title="Execution trace (slowest supersteps)" if dropped else "Execution trace",
+    )
+    lines = [table]
+    if dropped:
+        lines.append(f"... {dropped} faster supersteps omitted")
+    totals = metrics.summary()
+    total_cost = model.estimate(metrics, cluster)
+    lines.append(
+        f"totals: {totals['supersteps']} supersteps, {totals['ops']} ops, "
+        f"{totals['messages']} messages, simulated {total_cost.total * 1e3:.3f} ms "
+        f"on {cluster.nodes}x{cluster.cores_per_node} cores"
+    )
+    if metrics.mode_choices:
+        lines.append(f"EDGEMAP mode choices: {metrics.mode_choices}")
+    return "\n".join(lines)
+
+
+def hotspots(metrics: Metrics, top: int = 5) -> List[Dict]:
+    """The ``top`` most expensive labels by total ops — where to look
+    first when an algorithm is slow."""
+    per_label: Dict[str, Dict] = {}
+    for rec in metrics.records:
+        agg = per_label.setdefault(
+            rec.label or rec.kind, {"label": rec.label or rec.kind, "ops": 0, "supersteps": 0, "messages": 0}
+        )
+        agg["ops"] += rec.total_ops
+        agg["supersteps"] += 1
+        agg["messages"] += rec.total_messages
+    return sorted(per_label.values(), key=lambda a: -a["ops"])[:top]

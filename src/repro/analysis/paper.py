@@ -1,0 +1,156 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+``OT`` (did not terminate within 5000 s) and ``OOM`` are represented by
+the module-level sentinels; ``None`` marks an entry the framework could
+not express ("—" in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+OT = "OT"
+OOM = "OOM"
+Cell = Union[float, str, None]
+
+DATASETS: List[str] = ["OR", "TW", "US", "EU", "UK", "SK"]
+FRAMEWORKS: List[str] = ["pregel", "gas", "gemini", "ligra", "flash"]
+
+#: Table I — (status, LLoC).  Status: "full" (well supported), "half"
+#: (non-intuitive / slow workaround), None (inexpressible).
+TABLE1: Dict[str, Dict[str, Optional[int]]] = {
+    "cc_basic": {"pregel": 30, "gas": 36, "gemini": 50, "ligra": 26, "flash": 12},
+    "cc_opt": {"pregel": 63, "gas": None, "gemini": None, "ligra": None, "flash": 56},
+    "bfs": {"pregel": 22, "gas": 25, "gemini": 56, "ligra": 20, "flash": 13},
+    "bc": {"pregel": 49, "gas": 162, "gemini": 139, "ligra": 75, "flash": 33},
+    "mis": {"pregel": 48, "gas": 53, "gemini": 112, "ligra": 37, "flash": 23},
+    "mm_basic": {"pregel": 57, "gas": 66, "gemini": 98, "ligra": 59, "flash": 20},
+    "mm_opt": {"pregel": 84, "gas": None, "gemini": None, "ligra": None, "flash": 27},
+    "kc": {"pregel": 35, "gas": 32, "gemini": None, "ligra": 45, "flash": 20},
+    "tc": {"pregel": 31, "gas": 181, "gemini": None, "ligra": 38, "flash": 22},
+    "gc": {"pregel": 48, "gas": 58, "gemini": None, "ligra": None, "flash": 24},
+    "scc": {"pregel": 275, "gas": None, "gemini": None, "ligra": None, "flash": 74},
+    "bcc": {"pregel": 1057, "gas": None, "gemini": None, "ligra": None, "flash": 77},
+    "lpa": {"pregel": 51, "gas": 46, "gemini": None, "ligra": None, "flash": 26},
+    "msf": {"pregel": 208, "gas": None, "gemini": None, "ligra": None, "flash": 24},
+    "rc": {"pregel": None, "gas": None, "gemini": None, "ligra": None, "flash": 23},
+    "cl": {"pregel": None, "gas": None, "gemini": None, "ligra": None, "flash": 33},
+}
+
+#: Table V — execution seconds for the first eight applications.
+#: TABLE5[app][dataset] = [pregel, gas (PowerGraph), gemini, ligra, flash]
+TABLE5: Dict[str, Dict[str, List[Cell]]] = {
+    "cc": {
+        "OR": [9.21, 5.31, 1.24, 0.49, 0.48],
+        "TW": [99.31, 281.93, 8.60, 10.09, 6.38],
+        "US": [435.42, 1832.2, 524.34, 323.43, 30.96],
+        "EU": [1740.0, 6749.7, 1302.3, 663.10, 76.47],
+        "UK": [33.56, 26.33, 3.33, 2.09, 2.51],
+        "SK": [132.97, 307.30, 5.57, 4.07, 7.02],
+    },
+    "bfs": {
+        "OR": [3.07, 6.27, 0.87, 0.35, 0.35],
+        "TW": [31.47, 48.11, 4.61, 2.28, 6.16],
+        "US": [202.79, 1512.3, 519.01, 244.01, 12.17],
+        "EU": [1035.5, 4453.4, 1445.4, 506.72, 50.32],
+        "UK": [5.94, 15.51, 2.78, 1.09, 2.26],
+        "SK": [29.33, 35.96, 3.53, 1.92, 6.02],
+    },
+    "bc": {
+        "OR": [11.23, 13.40, 1.73, 0.81, 0.54],
+        "TW": [110.29, 121.71, 8.15, 21.62, 11.77],
+        "US": [516.86, 3066.8, 1007.1, 411.25, 16.94],
+        "EU": [2981.1, OT, 2861.8, 978.21, 129.64],
+        "UK": [22.61, 39.91, 6.24, 2.18, 3.87],
+        "SK": [116.13, 127.23, 7.54, 7.08, 11.49],
+    },
+    "mis": {
+        "OR": [11.22, 12.30, 1.78, 2.66, 0.51],
+        "TW": [55.62, 176.77, 4.66, 20.61, 4.58],
+        "US": [4.55, 22.58, 3.93, 1.10, 0.94],
+        "EU": [254.88, 722.41, 188.22, 122.41, 12.14],
+        "UK": [14.05, 65.64, 20.46, 4.92, 1.83],
+        "SK": [77.54, 108.54, 13.37, 9.24, 5.13],
+    },
+    "mm": {
+        "OR": [OT, OT, 497.15, 889.61, 22.27],
+        "TW": [OT, OT, OT, OT, 25.15],
+        "US": [13.00, 65.66, 6.96, 3.69, 3.03],
+        "EU": [428.87, 1547.7, 253.25, 182.36, 19.17],
+        "UK": [OT, OT, 1091.8, 518.83, 22.11],
+        "SK": [OT, OT, OT, OT, 114.76],
+    },
+    "kc": {
+        "OR": [678.44, 1140.6, None, 302.65, 4.03],
+        "TW": [4937.4, OT, None, 1313.4, 29.26],
+        "US": [232.18, 68.80, None, 16.11, 2.12],
+        "EU": [OT, 634.68, None, 195.04, 10.44],
+        "UK": [2924.6, 2682.4, None, 577.72, 5.38],
+        "SK": [OT, OT, None, 3702.8, 44.16],
+    },
+    "tc": {
+        "OR": [529.61, 27.86, None, 12.90, 3.32],
+        "TW": [OOM, 720.01, None, OT, 49.10],
+        "US": [17.90, 6.48, None, 0.57, 1.09],
+        "EU": [32.56, 10.91, None, 0.53, 2.29],
+        "UK": [OOM, 17.44, None, 14.23, 7.00],
+        "SK": [OOM, 211.67, None, OT, 70.59],
+    },
+    "gc": {
+        "OR": [OT, 13.26, None, None, 9.72],
+        "TW": [OT, 426.37, None, None, 264.44],
+        "US": [10.29, 13.11, None, None, 2.38],
+        "EU": [242.59, 43.81, None, None, 54.61],
+        "UK": [2219.7, 36.19, None, None, 35.67],
+        "SK": [OT, 706.21, None, None, 331.72],
+    },
+}
+
+#: Table VI — the last six applications: [best baseline, flash].
+#: Baselines: Pregel+ for SCC/BCC/MSF, PowerGraph for LPA; none for RC/CL.
+TABLE6: Dict[str, Dict[str, List[Cell]]] = {
+    "scc": {
+        "OR": [120.76, 1.24], "TW": [949.60, 13.80], "US": [719.91, 57.84],
+        "EU": [3021.1, 161.35], "UK": [223.22, 5.55], "SK": [1335.5, 18.26],
+    },
+    "bcc": {
+        "OR": [303.93, 5.57], "TW": [3615.0, 75.85], "US": [3844.7, 169.58],
+        "EU": [OT, 486.14], "UK": [879.91, 22.82], "SK": [2991.8, 55.20],
+    },
+    "lpa": {
+        "OR": [155.90, 16.83], "TW": [1433.9, 100.31], "US": [49.11, 2.77],
+        "EU": [276.20, 25.57], "UK": [299.62, 11.06], "SK": [OT, 78.25],
+    },
+    "msf": {
+        "OR": [55.96, 6.96], "TW": [867.54, 72.51], "US": [25.42, 29.96],
+        "EU": [64.86, 68.66], "UK": [55.25, 29.74], "SK": [477.72, 86.84],
+    },
+    "rc": {
+        "OR": [None, 12.49], "TW": [None, 140.16], "US": [None, 1.31],
+        "EU": [None, 2.75], "UK": [None, 14.65], "SK": [None, 176.78],
+    },
+    "cl": {
+        "OR": [None, 20.33], "TW": [None, OT], "US": [None, 1.22],
+        "EU": [None, 2.39], "UK": [None, 420.12], "SK": [None, OT],
+    },
+}
+
+#: Table VI baseline frameworks.
+TABLE6_BASELINE: Dict[str, Optional[str]] = {
+    "scc": "pregel", "bcc": "pregel", "lpa": "gas", "msf": "pregel",
+    "rc": None, "cl": None,
+}
+
+#: Fig. 4(b) — TC-on-TW intra-node speedups at 2/4/8/16/32 cores.
+FIG4B_SPEEDUPS: Dict[int, float] = {2: 1.8, 4: 2.9, 8: 4.7, 16: 6.7, 32: 7.5}
+
+#: Fig. 4(c,d) — speedup from 1 to 4 nodes (32 cores each).
+FIG4CD_SPEEDUPS: Dict[str, float] = {"tc_tw": 2.0, "cl_uk": 3.5}
+
+#: §V-B headline claims.
+HEADLINES = {
+    "fastest_fraction": 0.845,  # FLASH fastest in 84.5% of cases
+    "competitive_fraction": 0.952,  # within 2x of the best in 95.2%
+    "mm_opt_speedup": 70.1,  # Fig. 4(a) active-vertex reduction payoff
+    "scc_speedup_range": (22.7, 54.6),
+}

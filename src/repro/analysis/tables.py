@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and heat maps for the benchmark
+reports (no plotting dependencies; everything prints to stdout and can
+be diffed)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def _fmt(cell: Cell, width: int = 0) -> str:
+    if cell is None:
+        text = "-"
+    elif isinstance(cell, float):
+        if cell >= 100:
+            text = f"{cell:.1f}"
+        elif cell >= 1:
+            text = f"{cell:.2f}"
+        else:
+            text = f"{cell:.4f}"
+    else:
+        text = str(cell)
+    return text.rjust(width) if width else text
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: Buckets for the Fig. 1 heat map legend (slowdown vs the fastest).
+HEAT_BUCKETS = [
+    (1.01, "1.0"),
+    (2.0, "<2x"),
+    (5.0, "<5x"),
+    (25.0, "<25x"),
+    (125.0, "<125x"),
+    (float("inf"), ">125x"),
+]
+
+
+def heat_bucket(slowdown: Optional[float]) -> str:
+    """Map a slowdown ratio to a heat-map bucket label."""
+    if slowdown is None:
+        return "failed"
+    for limit, label in HEAT_BUCKETS:
+        if slowdown <= limit:
+            return label
+    return ">125x"  # pragma: no cover - unreachable
+
+
+def render_heatmap(
+    apps: Sequence[str],
+    datasets: Sequence[str],
+    slowdowns: Dict[str, Dict[str, Dict[str, Optional[float]]]],
+    frameworks: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render the Fig. 1-style heat map: one block per framework, rows =
+    apps, columns = datasets, cells = slowdown buckets vs the fastest
+    framework for that (app, dataset)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for framework in frameworks:
+        lines.append(f"[{framework}]")
+        headers = ["app"] + list(datasets)
+        rows = []
+        for app in apps:
+            row: List[Cell] = [app]
+            for ds in datasets:
+                row.append(heat_bucket(slowdowns.get(app, {}).get(ds, {}).get(framework)))
+            rows.append(row)
+        lines.append(format_table(headers, rows))
+        lines.append("")
+    return "\n".join(lines)

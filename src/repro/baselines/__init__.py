@@ -1,0 +1,33 @@
+"""From-scratch implementations of the four baseline frameworks the
+paper compares against (§V-A):
+
+* :mod:`repro.baselines.pregel` — Pregel+ style vertex-centric message
+  passing (compute/combine, vote-to-halt, aggregators);
+* :mod:`repro.baselines.gas` — PowerGraph's Gather-Apply-Scatter;
+* :mod:`repro.baselines.gemini` — Gemini's signal/slot push-pull model
+  with fixed-width numeric vertex state;
+* :mod:`repro.baselines.ligra` — Ligra's shared-memory vertexSubset
+  model (single node, no network).
+
+Every framework runs on the same metrics/cost-model substrate as FLASH,
+and every framework *enforces its published restrictions* — algorithms a
+model cannot express raise
+:class:`~repro.errors.InexpressibleError`, which is how Table I's empty
+circles are reproduced structurally rather than by fiat.
+"""
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.gas import GASFramework, GASProgram
+from repro.baselines.gemini import GeminiFramework
+from repro.baselines.ligra import LigraEngine
+from repro.baselines.pregel import PregelFramework, PregelProgram
+
+__all__ = [
+    "BaselineResult",
+    "GASFramework",
+    "GASProgram",
+    "GeminiFramework",
+    "LigraEngine",
+    "PregelFramework",
+    "PregelProgram",
+]

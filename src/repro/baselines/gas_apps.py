@@ -1,0 +1,537 @@
+"""The PowerGraph (GAS) algorithm suite.
+
+GAS expresses the single-loop applications directly; BC and KC need a
+python-side driver chaining restricted runs (PowerGraph engine restarts),
+and CC-opt / MM-opt / SCC / BCC / MSF / RC / CL are inexpressible
+(Table I) because they require beyond-neighborhood communication,
+arbitrary vertex sets, or non-vertex-centric reductions.
+
+Every public function has the signature
+``gas_<app>(graph, num_workers=4, ...) -> BaselineResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.gas import GASContext, GASFramework, GASProgram
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+def _rank(graph: Graph, vid: int) -> Tuple[int, int]:
+    return (graph.degree(vid), vid)
+
+
+# ----------------------------------------------------------------------
+# CC — min-label
+# ----------------------------------------------------------------------
+class _CC(GASProgram):
+    def initial_value(self, vid, graph):
+        return vid
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        return nbr_value
+
+    def accum(self, a, b):
+        return min(a, b)
+
+    def apply(self, ctx, vid, value, acc):
+        return value if acc is None else min(value, acc)
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return changed and value < nbr_value
+
+
+def gas_cc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_CC(), label="cc")
+    return BaselineResult("cc", "gas", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+class _BFS(GASProgram):
+    def __init__(self, root: int):
+        self.root = root
+
+    def initial_value(self, vid, graph):
+        return 0 if vid == self.root else INF
+
+    def initial_active(self, vid, graph):
+        return vid == self.root
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        return nbr_value + 1
+
+    def accum(self, a, b):
+        return min(a, b)
+
+    def apply(self, ctx, vid, value, acc):
+        return value if acc is None else min(value, acc)
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return nbr_value == INF and (changed or ctx.iteration == 0)
+
+
+def gas_bfs(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_BFS(root), label="bfs")
+    return BaselineResult("bfs", "gas", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# BC — driver-chained forward/backward level sweeps
+# ----------------------------------------------------------------------
+class _BCForward(GASProgram):
+    """One iteration assigns one BFS level; value = [level, num]."""
+
+    def __init__(self, root: int):
+        self.root = root
+
+    def initial_value(self, vid, graph):
+        return [0, 1.0] if vid == self.root else [-1, 0.0]
+
+    def initial_active(self, vid, graph):
+        return vid == self.root
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        # Unvisited vertices sum path counts from the previous frontier
+        # (level = iteration - 1); level-i vertices are assigned at
+        # iteration i.
+        if value[0] == -1 and nbr_value[0] == ctx.iteration - 1:
+            return nbr_value[1]
+        return None
+
+    def accum(self, a, b):
+        return a + b
+
+    def apply(self, ctx, vid, value, acc):
+        if value[0] == -1 and acc is not None:
+            return [ctx.iteration, acc]
+        return value
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        # The fresh frontier (and the root at iteration 0) activates its
+        # neighbors for the next level.
+        return (value[0] == ctx.iteration and changed) or (
+            ctx.iteration == 0 and vid == self.root
+        )
+
+
+class _BCBackwardStep(GASProgram):
+    """One backward accumulation for a single level (driver-run)."""
+
+    def __init__(self, level: int):
+        self.level = level
+
+    def initial_value(self, vid, graph):  # pragma: no cover - driver passes values
+        raise RuntimeError("driver must supply initial_values")
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if value[0] == self.level and nbr_value[0] == self.level + 1:
+            return value[1] / nbr_value[1] * (1 + nbr_value[2])
+        return None
+
+    def accum(self, a, b):
+        return a + b
+
+    def apply(self, ctx, vid, value, acc):
+        if acc is not None:
+            return [value[0], value[1], value[2] + acc]
+        return value
+
+
+def gas_bc(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    forward = fw.run(_BCForward(root), label="bc:forward")
+    max_level = max((lv for lv, _ in forward), default=0)
+    fw.chain_cost("bc:chain")
+    values = [[lv, num, 0.0] for lv, num in forward]
+    for level in range(max_level - 1, -1, -1):
+        frontier = [v for v in range(graph.num_vertices) if values[v][0] == level]
+        values = fw.run(
+            _BCBackwardStep(level),
+            max_iterations=1,
+            initial_values=values,
+            initial_active=frontier,
+            label="bc:backward",
+        )
+    deltas = [b for _, _, b in values]
+    deltas[root] = 0.0
+    return BaselineResult("bc", "gas", deltas, fw.metrics, extra={"levels": max_level})
+
+
+# ----------------------------------------------------------------------
+# MIS — Luby rounds (two iterations per round)
+# ----------------------------------------------------------------------
+_UNDECIDED, _IN, _OUT = 0, 1, 2
+
+
+class _MIS(GASProgram):
+    gather_edges = "in"
+
+    def initial_value(self, vid, graph):
+        return [_UNDECIDED, graph.degree(vid) * graph.num_vertices + vid]
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if ctx.iteration % 2 == 0:
+            # Round phase A: minimum rank among undecided neighbors.
+            if nbr_value[0] == _UNDECIDED:
+                return nbr_value[1]
+            return None
+        # Round phase B: did any neighbor enter the set?
+        return 1 if nbr_value[0] == _IN else None
+
+    def accum(self, a, b):
+        return min(a, b)  # min serves both phases (phase B gathers 1s)
+
+    def apply(self, ctx, vid, value, acc):
+        state, rank = value
+        if state != _UNDECIDED:
+            return value
+        if ctx.iteration % 2 == 0:
+            if acc is None or rank < acc:
+                return [_IN, rank]
+            return value
+        if acc is not None:
+            return [_OUT, rank]
+        return value
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        # Freshly decided vertices wake their neighbors; undecided ones
+        # keep their neighborhood computing.
+        return value[0] == _UNDECIDED or changed
+
+    def keep_active(self, ctx, vid, value):
+        return value[0] == _UNDECIDED
+
+
+def gas_mis(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_MIS(), label="mis")
+    members = [state == _IN for state, _ in values]
+    return BaselineResult("mis", "gas", members, fw.metrics, extra={"size": sum(members)})
+
+
+# ----------------------------------------------------------------------
+# MM — handshake rounds (two iterations per round)
+# ----------------------------------------------------------------------
+class _MM(GASProgram):
+    def initial_value(self, vid, graph):
+        return [-1, -1]  # [partner, best proposer]
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if value[0] != -1:
+            return None
+        if ctx.iteration % 2 == 0:
+            # Phase A: best (max id) unmatched neighbor.
+            if nbr_value[0] == -1:
+                return nbr
+            return None
+        # Phase B: mutual handshake — neighbor whose best is me and who is
+        # my best.
+        if nbr_value[0] == -1 and nbr_value[1] == vid and value[1] == nbr:
+            return nbr
+        return None
+
+    def accum(self, a, b):
+        return max(a, b)
+
+    def apply(self, ctx, vid, value, acc):
+        partner, best = value
+        if partner != -1:
+            return value
+        if ctx.iteration % 2 == 0:
+            return [partner, acc if acc is not None else -1]
+        if acc is not None:
+            return [acc, best]
+        return value
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return value[0] == -1 or changed
+
+    def keep_active(self, ctx, vid, value):
+        # Unmatched vertices stay active while they still see a proposer;
+        # once phase A finds none (best == -1) they retire for good.
+        return value[0] == -1 and (ctx.iteration % 2 == 1 or value[1] != -1)
+
+
+def gas_mm(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_MM(), label="mm")
+    partners = [p for p, _ in values]
+    pairs = [(v, p) for v, p in enumerate(partners) if p != -1 and v < p]
+    return BaselineResult("mm", "gas", partners, fw.metrics, extra={"matching": pairs})
+
+
+# ----------------------------------------------------------------------
+# KC — peeling with a python-side driver per k
+# ----------------------------------------------------------------------
+class _KCPeel(GASProgram):
+    """One peel sweep at threshold k; value = [core, removed]."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def initial_value(self, vid, graph):  # pragma: no cover - driver supplies
+        raise RuntimeError("driver must supply initial_values")
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        return None if nbr_value[1] else 1
+
+    def accum(self, a, b):
+        return a + b
+
+    def apply(self, ctx, vid, value, acc):
+        if value[1]:
+            return value
+        live = acc if acc is not None else 0
+        if live < self.k:
+            return [self.k - 1, 1]
+        return value
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return changed and not nbr_value[1]
+
+
+def gas_kc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    n = graph.num_vertices
+    values: List[List[int]] = [[-1, 0] for _ in range(n)]
+    k = 0
+    while any(not removed for _, removed in values):
+        k += 1
+        active = [v for v in range(n) if not values[v][1]]
+        while active:
+            before = [v[1] for v in values]
+            values = fw.run(
+                _KCPeel(k), max_iterations=1, initial_values=values,
+                initial_active=active, label="kc:peel",
+            )
+            active = [
+                v for v in range(n)
+                if not values[v][1] and any(
+                    values[int(u)][1] and not before[int(u)]
+                    for u in graph.out_neighbors(v)
+                )
+            ]
+    return BaselineResult("kc", "gas", [core for core, _ in values], fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# TC — neighbor-set gather then intersection count
+# ----------------------------------------------------------------------
+class _TCCollect(GASProgram):
+    """value = [count, higher-neighbor frozenset]."""
+
+    def initial_value(self, vid, graph):
+        return [0, frozenset()]
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if _rank(ctx.graph, nbr) > _rank(ctx.graph, vid):
+            return frozenset([nbr])
+        return None
+
+    def accum(self, a, b):
+        return a | b
+
+    def apply(self, ctx, vid, value, acc):
+        return [0, acc if acc is not None else frozenset()]
+
+
+class _TCCount(GASProgram):
+    def initial_value(self, vid, graph):  # pragma: no cover - driver supplies
+        raise RuntimeError("driver must supply initial_values")
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        # Count at the lowest vertex of each triangle: neighbor must
+        # outrank me; shared higher-neighbors close triangles.
+        if _rank(ctx.graph, nbr) > _rank(ctx.graph, vid):
+            return len(value[1] & nbr_value[1])
+        return None
+
+    def accum(self, a, b):
+        return a + b
+
+    def apply(self, ctx, vid, value, acc):
+        return [acc if acc is not None else 0, value[1]]
+
+
+def gas_tc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_TCCollect(), max_iterations=1, label="tc:collect")
+    fw.chain_cost("tc:chain")
+    values = fw.run(_TCCount(), max_iterations=1, initial_values=values, label="tc:count")
+    counts = [c for c, _ in values]
+    return BaselineResult("tc", "gas", counts, fw.metrics, extra={"total": sum(counts)})
+
+
+# ----------------------------------------------------------------------
+# GC — greedy coloring
+# ----------------------------------------------------------------------
+class _GC(GASProgram):
+    def initial_value(self, vid, graph):
+        return 0
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if _rank(ctx.graph, nbr) > _rank(ctx.graph, vid):
+            return frozenset([nbr_value])
+        return None
+
+    def accum(self, a, b):
+        return a | b
+
+    def apply(self, ctx, vid, value, acc):
+        forbidden = acc if acc is not None else frozenset()
+        color = 0
+        while color in forbidden:
+            color += 1
+        return color
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return changed and _rank(ctx.graph, nbr) < _rank(ctx.graph, vid)
+
+
+def gas_gc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_GC(), label="gc")
+    return BaselineResult("gc", "gas", values, fw.metrics, extra={"num_colors": len(set(values))})
+
+
+# ----------------------------------------------------------------------
+# LPA — fixed-round most-frequent label
+# ----------------------------------------------------------------------
+class _LPA(GASProgram):
+    def __init__(self, max_iters: int):
+        self.max_iters = max_iters
+
+    def initial_value(self, vid, graph):
+        return vid
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        return {nbr_value: 1}
+
+    def accum(self, a, b):
+        merged = dict(a)
+        for label, count in b.items():
+            merged[label] = merged.get(label, 0) + count
+        return merged
+
+    def apply(self, ctx, vid, value, acc):
+        if not acc:
+            return value
+        best, best_count = value, 0
+        for label in sorted(acc):
+            if acc[label] > best_count:
+                best, best_count = label, acc[label]
+        return best
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return ctx.iteration + 1 < self.max_iters
+
+
+def gas_lpa(graph: Graph, num_workers: int = 4, max_iters: int = 10) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_LPA(max_iters), label="lpa")
+    return BaselineResult("lpa", "gas", values, fw.metrics, extra={"num_labels": len(set(values))})
+
+
+# ----------------------------------------------------------------------
+# Inexpressible on GAS (Table I)
+# ----------------------------------------------------------------------
+def _inexpressible(what: str, why: str):
+    def fn(graph: Graph, num_workers: int = 4, **_: Any) -> BaselineResult:
+        raise InexpressibleError(f"{what} is inexpressible in the GAS model: {why}")
+
+    fn.__name__ = f"gas_{what}"
+    return fn
+
+
+gas_cc_opt = _inexpressible("cc_opt", "hooking writes to non-neighbors (virtual parent edges)")
+gas_mm_opt = _inexpressible("mm_opt", "requires user-defined edge sets over proposer pointers")
+gas_scc = _inexpressible("scc", "needs per-round subgraph restriction and multi-phase control flow")
+gas_bcc = _inexpressible("bcc", "needs tree walks and disjoint-set unions beyond neighborhoods")
+gas_msf = _inexpressible("msf", "needs global edge ordering and component-level reduction")
+gas_rc = _inexpressible("rc", "needs two-hop neighbor pairs")
+gas_cl = _inexpressible("cl", "needs arbitrary-vertex neighbor-set reads")
+
+
+# ----------------------------------------------------------------------
+# SSSP and PageRank — PowerGraph's stock examples
+# ----------------------------------------------------------------------
+class _SSSP(GASProgram):
+    def __init__(self, root: int):
+        self.root = root
+
+    def initial_value(self, vid, graph):
+        return 0.0 if vid == self.root else INF
+
+    def initial_active(self, vid, graph):
+        return vid == self.root
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        if nbr_value == INF:
+            return None
+        return nbr_value + ctx.graph.weight(nbr, vid)
+
+    def accum(self, a, b):
+        return min(a, b)
+
+    def apply(self, ctx, vid, value, acc):
+        return value if acc is None else min(value, acc)
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return changed or (ctx.iteration == 0 and vid == self.root)
+
+
+def gas_sssp(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_SSSP(root), label="sssp")
+    return BaselineResult("sssp", "gas", values, fw.metrics)
+
+
+class _PageRank(GASProgram):
+    def __init__(self, max_iters: int, damping: float = 0.85):
+        self.max_iters = max_iters
+        self.damping = damping
+
+    def initial_value(self, vid, graph):
+        return 1.0 / max(graph.num_vertices, 1)
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        out_deg = ctx.graph.out_degree(nbr)
+        return nbr_value / out_deg if out_deg else None
+
+    def accum(self, a, b):
+        return a + b
+
+    def apply(self, ctx, vid, value, acc):
+        total = acc if acc is not None else 0.0
+        n = ctx.graph.num_vertices
+        return (1.0 - self.damping) / n + self.damping * total
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return ctx.iteration + 1 < self.max_iters
+
+
+def gas_pagerank(graph: Graph, num_workers: int = 4, max_iters: int = 20) -> BaselineResult:
+    fw = GASFramework(graph, num_workers)
+    values = fw.run(_PageRank(max_iters), label="pagerank")
+    return BaselineResult("pagerank", "gas", values, fw.metrics)
+
+
+def gas_gc_async(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    """Asynchronous greedy coloring — PowerGraph's trick for GC (§V-B:
+    "PowerGraph performs efficiently on GC since it implements an
+    asynchronous algorithm, which converges faster than a BSP-based
+    algorithm"; App. B-E adds that async "may result in more colors")."""
+    fw = GASFramework(graph, num_workers)
+    values = fw.run_async(_GC(), label="gc_async")
+    return BaselineResult(
+        "gc_async", "gas", values, fw.metrics, extra={"num_colors": len(set(values))}
+    )

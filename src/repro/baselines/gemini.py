@@ -1,0 +1,108 @@
+"""A Gemini-style framework (Zhu et al. [11]).
+
+Gemini is a computation-centric distributed system with a dual-mode
+(push/pull) edge-processing loop — very close to FLASH's runtime — but
+with a *much more restricted programming model* (§II, §V):
+
+* vertex state must be **fixed-width numeric** data (no sets, lists or
+  dicts) — which is why TC, GC and LPA are inexpressible on it;
+* communication is strictly along the graph's edges — no virtual edge
+  sets, no arbitrary-vertex ``get``;
+* the dense (pull) kernel scans *all* in-edges of every vertex — Gemini
+  has no per-target early-exit condition (FLASH's ``C`` break), so dense
+  supersteps charge proportionally more work;
+* reductions must be associative and commutative.
+
+We implement it as a restricted subclass of the FLASH engine: the same
+dual-mode kernels and mirror accounting, with the restrictions enforced
+at the API boundary (so inexpressibility arises structurally).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.edgeset import BaseEdges, EdgeSet, ReverseEdges
+from repro.core.engine import FlashEngine
+from repro.core.subset import VertexSubset
+from repro.core.vertex import VertexView
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+
+def _check_numeric(name: str, default: Any) -> None:
+    if default is not None and not isinstance(default, (int, float, bool)):
+        raise InexpressibleError(
+            f"Gemini vertex state is fixed-width numeric; property {name!r} "
+            f"with default {type(default).__name__} is not expressible"
+        )
+
+
+def _check_edges(edges: EdgeSet) -> None:
+    inner = edges
+    while isinstance(inner, ReverseEdges):
+        inner = inner.inner
+    if not isinstance(inner, BaseEdges):
+        raise InexpressibleError(
+            "Gemini only communicates along the graph's own edges; custom or "
+            "virtual edge sets are not expressible"
+        )
+
+
+class GeminiFramework(FlashEngine):
+    """FLASH engine restricted to Gemini's model."""
+
+    framework_name = "gemini"
+
+    def __init__(self, graph: Graph, num_workers: int = 4, **kwargs):
+        super().__init__(graph, num_workers=num_workers, **kwargs)
+
+    # -- restrictions ----------------------------------------------------
+    def add_property(self, name: str, default: Any = None, factory: Optional[Callable] = None) -> None:
+        if factory is not None:
+            raise InexpressibleError(
+                "Gemini vertex state is fixed-width numeric; factory-built "
+                "(variable-length) properties are not expressible"
+            )
+        _check_numeric(name, default)
+        super().add_property(name, default=default)
+
+    def get(self, vid: int) -> VertexView:
+        raise InexpressibleError(
+            "Gemini has no arbitrary-vertex read; state is only visible "
+            "along edges"
+        )
+
+    def collect(self, items_per_vertex, label: str = "reduce"):
+        raise InexpressibleError("Gemini has no global gather primitive")
+
+    def dsu(self):
+        raise InexpressibleError("Gemini provides no distributed disjoint-set helper")
+
+    # -- kernels ----------------------------------------------------------
+    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label=""):
+        _check_edges(edges)
+        # Gemini's pull mode has no early-exit condition: fold C into F so
+        # every in-edge is scanned (and charged).
+        if C is not None:
+            original_f = F
+
+            def gated(s, d, _F=original_f, _C=C):
+                return _C(d) and (_F is None or _F(s, d))
+
+            F = gated
+            C = None
+        return super().edge_map_dense(subset, edges, F, M, C, label=label)
+
+    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+        _check_edges(edges)
+        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label)
+
+    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+        _check_edges(edges)
+        if R is None:
+            raise InexpressibleError(
+                "Gemini's push/pull loop requires an associative, commutative "
+                "reduction"
+            )
+        return super().edge_map(subset, edges, F, M, C, R, label=label)

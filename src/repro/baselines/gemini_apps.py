@@ -1,0 +1,148 @@
+"""The Gemini algorithm suite.
+
+Everything numeric and edge-local reuses the FLASH program verbatim on
+the restricted :class:`~repro.baselines.gemini.GeminiFramework` (the
+models coincide there — Gemini is the efficiency yardstick among the
+baselines).  MIS is re-expressed without FLASH's filtered edge sets,
+using Gemini's active-bitmap idiom.  TC/GC/LPA/KC and every optimized
+variant raise :class:`~repro.errors.InexpressibleError` — matching
+Table I / Table V's empty entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms import bc as flash_bc
+from repro.algorithms import bfs as flash_bfs
+from repro.algorithms import cc_basic as flash_cc
+from repro.algorithms import mm_basic as flash_mm
+from repro.algorithms import sssp as flash_sssp
+from repro.baselines.base import BaselineResult
+from repro.baselines.gemini import GeminiFramework
+from repro.core.primitives import bind, ctrue
+from repro.errors import InexpressibleError, ReproError
+from repro.graph.graph import Graph
+
+
+def _wrap(result, framework_name: str = "gemini") -> BaselineResult:
+    return BaselineResult(
+        result.name,
+        framework_name,
+        result.values,
+        result.engine.metrics,
+        iterations=result.iterations,
+        extra=result.extra,
+    )
+
+
+def gemini_bfs(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    return _wrap(flash_bfs(GeminiFramework(graph, num_workers), root=root))
+
+
+def gemini_cc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    return _wrap(flash_cc(GeminiFramework(graph, num_workers)))
+
+
+def gemini_bc(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    return _wrap(flash_bc(GeminiFramework(graph, num_workers), root=root))
+
+
+def gemini_mm(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    return _wrap(flash_mm(GeminiFramework(graph, num_workers)))
+
+
+def gemini_sssp(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    return _wrap(flash_sssp(GeminiFramework(graph, num_workers), root=root))
+
+
+def gemini_mis(graph: Graph, num_workers: int = 4, max_iterations: int = 100_000) -> BaselineResult:
+    """Luby-style MIS using Gemini's active-bitmap idiom: the per-round
+    candidate set lives in a numeric flag property, and all traffic goes
+    along the graph's own edges."""
+    eng = GeminiFramework(graph, num_workers)
+    n = graph.num_vertices
+    eng.add_property("d", False)  # decided-out
+    eng.add_property("b", True)  # candidate flag this round
+    eng.add_property("a", True)  # still active (undecided)
+    eng.add_property("r", 0)
+
+    def init(v, num_vertices):
+        v.r = v.deg * num_vertices + v.id
+        return v
+
+    def f1(s, d):
+        return s.d == False and s.a == True and s.r < d.r  # noqa: E712
+
+    def block(s, d):
+        d.b = False
+        return d
+
+    def r1(t, d):
+        return t
+
+    def cond_candidate(v):
+        return v.a == True and v.b == True  # noqa: E712
+
+    def winner(v):
+        return v.a == True and v.b == True  # noqa: E712
+
+    def mark_win(v):
+        v.a = False
+        return v
+
+    def kill(s, d):
+        return d
+
+    def r2(t, d):
+        d.d = True
+        d.a = False
+        return d
+
+    def cond_alive(v):
+        return v.d == False and v.a == True  # noqa: E712
+
+    def still_active(v):
+        return v.a == True  # noqa: E712
+
+    def reset(v):
+        v.b = True
+        return v
+
+    eng.vertex_map(eng.V, ctrue, bind(init, n), label="mis:init")
+    active = eng.V
+    iterations = 0
+    winners_all = set()
+    while eng.size(active) != 0:
+        iterations += 1
+        if iterations > max_iterations:
+            raise ReproError("gemini mis failed to converge")
+        eng.edge_map(eng.V, eng.E, f1, block, cond_candidate, r1, label="mis:block")
+        winners = eng.vertex_map(active, winner, mark_win, label="mis:winners")
+        winners_all.update(winners)
+        eng.edge_map_sparse(winners, eng.E, ctrue, kill, cond_alive, r2, label="mis:kill")
+        active = eng.vertex_map(eng.V, still_active, reset, label="mis:next")
+
+    values = [v in winners_all for v in range(n)]
+    return BaselineResult("mis", "gemini", values, eng.metrics, iterations, {"size": len(winners_all)})
+
+
+def _inexpressible(what: str, why: str):
+    def fn(graph: Graph, num_workers: int = 4, **_: Any) -> BaselineResult:
+        raise InexpressibleError(f"{what} is inexpressible on Gemini: {why}")
+
+    fn.__name__ = f"gemini_{what}"
+    return fn
+
+
+gemini_tc = _inexpressible("tc", "needs variable-length neighbor-list properties")
+gemini_gc = _inexpressible("gc", "needs a variable-length forbidden-color set per vertex")
+gemini_lpa = _inexpressible("lpa", "needs variable-length label multisets per vertex")
+gemini_kc = _inexpressible("kc", "needs the multi-phase peeling control flow")
+gemini_cc_opt = _inexpressible("cc_opt", "hooking writes beyond the neighborhood")
+gemini_mm_opt = _inexpressible("mm_opt", "requires user-defined edge sets")
+gemini_scc = _inexpressible("scc", "needs per-round subgraph restriction")
+gemini_bcc = _inexpressible("bcc", "needs tree walks and disjoint sets")
+gemini_msf = _inexpressible("msf", "needs a global edge ordering")
+gemini_rc = _inexpressible("rc", "needs two-hop virtual edges")
+gemini_cl = _inexpressible("cl", "needs arbitrary-vertex neighbor-set reads")

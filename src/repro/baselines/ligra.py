@@ -1,0 +1,88 @@
+"""A Ligra-style shared-memory engine (Shun & Blelloch [21]).
+
+Ligra pioneered the ``vertexSubset`` + ``edgeMap``/``vertexMap``
+interface that FLASH extends, but it is a *single-machine* framework:
+
+* it runs on one node — there are no partitions, mirrors or network
+  messages at all (its big advantage on communication-bound workloads,
+  §V-B, and its scalability ceiling);
+* ``edgeMap`` only traverses the graph's own edges — no virtual or
+  beyond-neighborhood sets (filtering targets by a subset is fine:
+  that's Ligra's ``C``/output semantics);
+* vertex data are flat arrays of fixed-width values — set- or
+  dict-valued properties are not expressible (the paper cites this for
+  GC); neighbor-list algorithms like TC instead intersect the in-memory
+  adjacency arrays directly, which shared memory permits.
+
+Implemented as a FLASH engine pinned to one worker with the above
+restrictions enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.edgeset import (
+    BaseEdges,
+    EdgeSet,
+    ReverseEdges,
+    SourceFilteredEdges,
+    TargetFilteredEdges,
+)
+from repro.core.engine import FlashEngine
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+
+def _check_edges(edges: EdgeSet) -> None:
+    inner = edges
+    while isinstance(inner, (ReverseEdges, TargetFilteredEdges, SourceFilteredEdges)):
+        inner = inner.inner
+    if not isinstance(inner, BaseEdges):
+        raise InexpressibleError(
+            "Ligra's edgeMap only traverses the graph's edges; virtual or "
+            "user-defined edge sets are not expressible"
+        )
+
+
+class LigraEngine(FlashEngine):
+    """FLASH engine restricted to Ligra's shared-memory model."""
+
+    framework_name = "ligra"
+
+    def __init__(self, graph: Graph, num_workers: int = 1, **kwargs):
+        if num_workers != 1:
+            raise InexpressibleError("Ligra is a shared-memory (single node) framework")
+        super().__init__(graph, num_workers=1, **kwargs)
+
+    # -- restrictions ----------------------------------------------------
+    def add_property(self, name: str, default: Any = None, factory: Optional[Callable] = None) -> None:
+        if factory is not None or not isinstance(default, (int, float, bool, type(None))):
+            raise InexpressibleError(
+                "Ligra vertex data are flat fixed-width arrays; "
+                f"variable-length property {name!r} is not expressible"
+            )
+        super().add_property(name, default=default)
+
+    def collect(self, items_per_vertex, label: str = "reduce"):
+        raise InexpressibleError("Ligra has no distributed gather primitive")
+
+    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label=""):
+        _check_edges(edges)
+        return super().edge_map_dense(subset, edges, F, M, C, label=label)
+
+    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+        _check_edges(edges)
+        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label)
+
+    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+        _check_edges(edges)
+        return super().edge_map(subset, edges, F, M, C, R, label=label)
+
+    # -- shared-memory extras ---------------------------------------------
+    def adjacency(self, vid: int) -> np.ndarray:
+        """Direct read of a vertex's adjacency array — legal in shared
+        memory (used by Ligra's TC)."""
+        return self.graph.out_neighbors(vid)

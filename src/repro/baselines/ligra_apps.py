@@ -1,0 +1,113 @@
+"""The Ligra algorithm suite.
+
+Ligra's interface is the closest to FLASH's, so the numeric, edge-local
+programs run verbatim on the restricted single-node
+:class:`~repro.baselines.ligra.LigraEngine` — with zero network cost,
+which is Ligra's whole advantage in Table V.  TC intersects the shared
+in-memory adjacency arrays directly (Ligra's actual approach); GC, LPA
+and everything needing virtual edges or distribution raise
+:class:`~repro.errors.InexpressibleError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms import bc as flash_bc
+from repro.algorithms import bfs as flash_bfs
+from repro.algorithms import cc_basic as flash_cc
+from repro.algorithms import kcore_basic as flash_kc
+from repro.algorithms import mis as flash_mis
+from repro.algorithms import mm_basic as flash_mm
+from repro.algorithms import sssp as flash_sssp
+from repro.baselines.base import BaselineResult
+from repro.baselines.ligra import LigraEngine
+from repro.core.primitives import ctrue
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+
+def _wrap(result) -> BaselineResult:
+    return BaselineResult(
+        result.name,
+        "ligra",
+        result.values,
+        result.engine.metrics,
+        iterations=result.iterations,
+        extra=result.extra,
+    )
+
+
+def ligra_bfs(graph: Graph, root: int = 0, **_: Any) -> BaselineResult:
+    return _wrap(flash_bfs(LigraEngine(graph), root=root))
+
+
+def ligra_cc(graph: Graph, **_: Any) -> BaselineResult:
+    return _wrap(flash_cc(LigraEngine(graph)))
+
+
+def ligra_bc(graph: Graph, root: int = 0, **_: Any) -> BaselineResult:
+    return _wrap(flash_bc(LigraEngine(graph), root=root))
+
+
+def ligra_mis(graph: Graph, **_: Any) -> BaselineResult:
+    return _wrap(flash_mis(LigraEngine(graph)))
+
+
+def ligra_mm(graph: Graph, **_: Any) -> BaselineResult:
+    return _wrap(flash_mm(LigraEngine(graph)))
+
+
+def ligra_kc(graph: Graph, **_: Any) -> BaselineResult:
+    return _wrap(flash_kc(LigraEngine(graph)))
+
+
+def ligra_sssp(graph: Graph, root: int = 0, **_: Any) -> BaselineResult:
+    return _wrap(flash_sssp(LigraEngine(graph), root=root))
+
+
+def ligra_tc(graph: Graph, **_: Any) -> BaselineResult:
+    """Triangle counting by intersecting the shared adjacency arrays
+    (each triangle counted at its lowest-ranked vertex)."""
+    eng = LigraEngine(graph)
+    eng.add_property("count", 0)
+    degs = graph.degrees()
+
+    def higher(vid: int) -> set:
+        mine = (int(degs[vid]), vid)
+        return {int(u) for u in eng.adjacency(vid) if (int(degs[u]), int(u)) > mine}
+
+    def count_at(v):
+        mine = higher(v.id)
+        total = 0
+        for u in mine:
+            others = higher(u)
+            total += len(mine & others)
+            eng.flashware.charge_ops(0, len(others))
+        v.count = total
+        return v
+
+    eng.vertex_map(eng.V, ctrue, count_at, label="tc:count")
+    counts = eng.values("count")
+    return BaselineResult(
+        "tc", "ligra", counts, eng.metrics, iterations=1, extra={"total": sum(counts)}
+    )
+
+
+def _inexpressible(what: str, why: str):
+    def fn(graph: Graph, **_: Any) -> BaselineResult:
+        raise InexpressibleError(f"{what} is inexpressible on Ligra: {why}")
+
+    fn.__name__ = f"ligra_{what}"
+    return fn
+
+
+ligra_gc = _inexpressible("gc", "needs variable-length per-vertex color sets")
+ligra_lpa = _inexpressible("lpa", "needs variable-length label multisets")
+ligra_cc_opt = _inexpressible("cc_opt", "needs virtual parent-pointer edges")
+ligra_mm_opt = _inexpressible("mm_opt", "needs user-defined edge sets")
+ligra_scc = _inexpressible("scc", "needs multi-round subgraph restriction with colors")
+ligra_bcc = _inexpressible("bcc", "needs disjoint-set reductions outside edgeMap")
+ligra_msf = _inexpressible("msf", "needs a global edge ordering")
+ligra_rc = _inexpressible("rc", "needs two-hop virtual edges")
+ligra_cl = _inexpressible("cl", "needs arbitrary neighbor-set properties")

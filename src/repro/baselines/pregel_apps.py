@@ -1,0 +1,930 @@
+"""The Pregel+ algorithm suite used as the paper's baseline.
+
+Pregel can express every Table IV application except RC and CL (Table I),
+but the multi-phase ones (BC, SCC, BCC, MSF) must be decomposed into
+chained sub-algorithms coordinated through aggregators / master-compute —
+which is exactly why the paper reports them as verbose and slow.  The
+chaining data-sharing cost is charged explicitly
+(:meth:`~repro.baselines.pregel.PregelFramework.chain_cost`).
+
+Every public function has the signature
+``pregel_<app>(graph, num_workers=4, ...) -> BaselineResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.pregel import PregelContext, PregelFramework, PregelProgram, PregelVertex
+from repro.core.dsu import DSU
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# CC — min-label propagation
+# ----------------------------------------------------------------------
+class _CCProgram(PregelProgram):
+    combiner = staticmethod(min)
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return vid
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[int]) -> None:
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, v.value)
+        else:
+            smallest = min(messages) if messages else v.value
+            if smallest < v.value:
+                v.value = smallest
+                ctx.send_to_neighbors(v, smallest)
+        ctx.vote_to_halt()
+
+
+def pregel_cc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_CCProgram(), label="cc")
+    return BaselineResult("cc", "pregel", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+class _BFSProgram(PregelProgram):
+    combiner = staticmethod(min)
+
+    def __init__(self, root: int):
+        self.root = root
+
+    def initial_value(self, vid: int, graph: Graph) -> float:
+        return 0 if vid == self.root else INF
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[int]) -> None:
+        if ctx.superstep == 0:
+            if v.id == self.root:
+                ctx.send_to_neighbors(v, 1)
+        elif v.value == INF and messages:
+            v.value = min(messages)
+            ctx.send_to_neighbors(v, v.value + 1)
+        ctx.vote_to_halt()
+
+
+def pregel_bfs(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_BFSProgram(root), label="bfs")
+    return BaselineResult("bfs", "pregel", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# SSSP — the Pregel paper's canonical example
+# ----------------------------------------------------------------------
+class _SSSPProgram(PregelProgram):
+    combiner = staticmethod(min)
+
+    def __init__(self, root: int, graph: Graph):
+        self.root = root
+        self.graph = graph
+
+    def initial_value(self, vid: int, graph: Graph) -> float:
+        return 0.0 if vid == self.root else INF
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[float]) -> None:
+        best = min(messages) if messages else INF
+        if ctx.superstep == 0 and v.id == self.root:
+            best = 0.0
+        if best < v.value or (ctx.superstep == 0 and v.id == self.root):
+            v.value = min(v.value, best)
+            for t in v.out_neighbors:
+                ctx.send(int(t), v.value + self.graph.weight(v.id, int(t)))
+        ctx.vote_to_halt()
+
+
+def pregel_sssp(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_SSSPProgram(root, graph), label="sssp")
+    return BaselineResult("sssp", "pregel", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# PageRank — fixed-iteration power method
+# ----------------------------------------------------------------------
+class _PageRankProgram(PregelProgram):
+    combiner = staticmethod(lambda a, b: a + b)
+
+    def __init__(self, max_iters: int, damping: float = 0.85):
+        self.max_iters = max_iters
+        self.damping = damping
+
+    def initial_value(self, vid: int, graph: Graph) -> float:
+        return 1.0 / max(graph.num_vertices, 1)
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[float]) -> None:
+        if ctx.superstep > 0:
+            incoming = sum(messages)
+            v.value = (1.0 - self.damping) / ctx.num_vertices + self.damping * incoming
+        if ctx.superstep < self.max_iters:
+            if v.out_degree:
+                ctx.send_to_neighbors(v, v.value / v.out_degree)
+        else:
+            ctx.vote_to_halt()
+
+
+def pregel_pagerank(graph: Graph, num_workers: int = 4, max_iters: int = 20) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_PageRankProgram(max_iters), label="pagerank")
+    return BaselineResult("pagerank", "pregel", values, fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# BC — two chained sub-algorithms (forward sigma/levels, backward delta)
+# ----------------------------------------------------------------------
+class _BCForward(PregelProgram):
+    """Level-synchronous shortest-path counting: value = [level, num]."""
+
+    aggregators = {"max_level": max}
+
+    def __init__(self, root: int):
+        self.root = root
+
+    def initial_value(self, vid: int, graph: Graph) -> List[float]:
+        return [0, 1.0] if vid == self.root else [-1, 0.0]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[float]) -> None:
+        level, num = v.value
+        if ctx.superstep == 0:
+            if v.id == self.root:
+                ctx.send_to_neighbors(v, num)
+                ctx.aggregate("max_level", 0)
+        elif level == -1 and messages:
+            v.value = [ctx.superstep, sum(messages)]
+            ctx.send_to_neighbors(v, v.value[1])
+            ctx.aggregate("max_level", ctx.superstep)
+        ctx.vote_to_halt()
+
+
+class _BCBackward(PregelProgram):
+    """Dependency accumulation, deepest level first.
+
+    value = [level, num, b]; a vertex at level L sends at superstep
+    ``max_level - L`` and accumulates from messages of level L+1.
+    """
+
+    def __init__(self, forward_values: List[List[float]], max_level: int):
+        self.forward = forward_values
+        self.max_level = max_level
+
+    def initial_value(self, vid: int, graph: Graph) -> List[float]:
+        level, num = self.forward[vid]
+        return [level, num, 0.0]
+
+    def initial_active(self, vid: int, graph: Graph) -> bool:
+        return self.forward[vid][0] != -1
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Tuple[float, float, float]]) -> None:
+        level, num, b = v.value
+        for s_level, s_num, s_b in messages:
+            if s_level == level + 1:
+                b += num / s_num * (1 + s_b)
+        v.value = [level, num, b]
+        if level != -1 and ctx.superstep == self.max_level - level:
+            ctx.send_to_neighbors(v, (level, num, b))
+        if ctx.superstep >= self.max_level - max(level, 0):
+            ctx.vote_to_halt()
+
+
+def pregel_bc(graph: Graph, root: int = 0, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    forward = fw.run(_BCForward(root), label="bc:forward")
+    max_level = max((int(lv) for lv, _ in forward if lv != -1), default=0)
+    fw.chain_cost("bc:chain")
+    values = fw.run(_BCBackward(forward, max_level), label="bc:backward")
+    deltas = [b for _, _, b in values]
+    deltas[root] = 0.0
+    return BaselineResult("bc", "pregel", deltas, fw.metrics, extra={"levels": max_level})
+
+
+# ----------------------------------------------------------------------
+# MIS — Luby rounds (3 supersteps each)
+# ----------------------------------------------------------------------
+_UNDECIDED, _IN, _OUT = 0, 1, 2
+
+
+class _MISProgram(PregelProgram):
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [_UNDECIDED, graph.degree(vid) * graph.num_vertices + vid]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        state, rank = v.value
+        if state != _UNDECIDED:
+            ctx.vote_to_halt()
+            return
+        phase = ctx.superstep % 3
+        if phase == 0:
+            ctx.send_to_neighbors(v, ("rank", rank))
+        elif phase == 1:
+            ranks = [m[1] for m in messages if m[0] == "rank"]
+            if all(rank < r for r in ranks):
+                v.value = [_IN, rank]
+                ctx.send_to_neighbors(v, ("in", v.id))
+        else:
+            if any(m[0] == "in" for m in messages):
+                v.value = [_OUT, rank]
+                ctx.vote_to_halt()
+
+
+def pregel_mis(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_MISProgram(), label="mis")
+    members = [state == _IN for state, _ in values]
+    return BaselineResult("mis", "pregel", members, fw.metrics, extra={"size": sum(members)})
+
+
+# ----------------------------------------------------------------------
+# MM — max-id handshaking rounds (3 supersteps each)
+# ----------------------------------------------------------------------
+class _MMProgram(PregelProgram):
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [-1, -1]  # [partner, best proposer]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        partner, best = v.value
+        if partner != -1:
+            ctx.vote_to_halt()
+            return
+        phase = ctx.superstep % 3
+        if phase == 0:
+            ctx.send_to_neighbors(v, ("prop", v.id))
+        elif phase == 1:
+            proposers = [m[1] for m in messages if m[0] == "prop"]
+            if not proposers:
+                ctx.vote_to_halt()  # no unmatched neighbors remain
+                return
+            best = max(proposers)
+            v.value = [partner, best]
+            ctx.send(best, ("chosen", v.id))
+        else:
+            choosers = {m[1] for m in messages if m[0] == "chosen"}
+            if best in choosers:
+                v.value = [best, best]
+
+
+def pregel_mm(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_MMProgram(), label="mm")
+    partners = [p for p, _ in values]
+    pairs = [(v, p) for v, p in enumerate(partners) if p != -1 and v < p]
+    return BaselineResult("mm", "pregel", partners, fw.metrics, extra={"matching": pairs})
+
+
+# ----------------------------------------------------------------------
+# KC — master-coordinated peeling
+# ----------------------------------------------------------------------
+class _KCProgram(PregelProgram):
+    combiner = staticmethod(lambda a, b: a + b)
+    aggregators = {"removed_any": lambda a, b: a or b}
+
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [-1, graph.degree(vid), 0]  # [core, induced degree, removed]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[int]) -> None:
+        core, deg, removed = v.value
+        if removed:
+            ctx.vote_to_halt()
+            return
+        deg -= sum(messages)
+        k = ctx.aggregated("k", 1)
+        if deg < k:
+            v.value = [k - 1, deg, 1]
+            ctx.send_to_neighbors(v, 1)
+            ctx.aggregate("removed_any", True)
+            ctx.vote_to_halt()
+        else:
+            v.value = [core, deg, 0]
+            # Stay awake: the next k arrives by broadcast, not by message.
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        k = ctx.aggregated("k", 1)
+        if not aggregated.get("removed_any"):
+            k += 1
+        return {"k": k}
+
+
+def pregel_kc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_KCProgram(), label="kc")
+    return BaselineResult("kc", "pregel", [core for core, _, _ in values], fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# TC — neighbor-list exchange (3 supersteps, heavy messages)
+# ----------------------------------------------------------------------
+class _TCProgram(PregelProgram):
+    def initial_value(self, vid: int, graph: Graph) -> List[Any]:
+        return [0, frozenset()]  # [count, higher-ranked neighbor set]
+
+    @staticmethod
+    def _rank(deg: int, vid: int) -> Tuple[int, int]:
+        return (deg, vid)
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        count, higher = v.value
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, ("deg", v.id, v.degree))
+        elif ctx.superstep == 1:
+            mine = self._rank(v.degree, v.id)
+            higher = frozenset(
+                vid for _, vid, deg in messages if self._rank(deg, vid) > mine
+            )
+            v.value = [count, higher]
+            for u in higher:
+                ctx.send(u, ("nbrs", higher))
+            ctx.vote_to_halt()
+        else:
+            for _, nbrs in messages:
+                count += len(nbrs & higher)
+            v.value = [count, higher]
+            ctx.vote_to_halt()
+
+
+def pregel_tc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_TCProgram(), label="tc")
+    counts = [c for c, _ in values]
+    return BaselineResult("tc", "pregel", counts, fw.metrics, extra={"total": sum(counts)})
+
+
+# ----------------------------------------------------------------------
+# GC — greedy coloring with change detection
+# ----------------------------------------------------------------------
+class _GCProgram(PregelProgram):
+    aggregators = {"changed": lambda a, b: a or b}
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return 0
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        if ctx.aggregated("done", False):
+            ctx.vote_to_halt()
+            return
+        mine = (v.degree, v.id)
+        forbidden = {color for rank, color in messages if rank > mine}
+        color = 0
+        while color in forbidden:
+            color += 1
+        if messages and color != v.value:
+            v.value = color
+            ctx.aggregate("changed", True)
+        ctx.send_to_neighbors(v, (mine, v.value))
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        if ctx.superstep > 0 and not aggregated.get("changed", False):
+            return {"done": True}
+        return {}
+
+
+def pregel_gc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_GCProgram(), label="gc")
+    return BaselineResult(
+        "gc", "pregel", values, fw.metrics, extra={"num_colors": len(set(values))}
+    )
+
+
+# ----------------------------------------------------------------------
+# LPA — most-frequent-label adoption, fixed rounds
+# ----------------------------------------------------------------------
+class _LPAProgram(PregelProgram):
+    def __init__(self, max_iters: int):
+        self.max_iters = max_iters
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return vid
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[int]) -> None:
+        if messages:
+            counts: Dict[int, int] = {}
+            for label in messages:
+                counts[label] = counts.get(label, 0) + 1
+            best, best_count = v.value, 0
+            for label in sorted(counts):
+                if counts[label] > best_count:
+                    best, best_count = label, counts[label]
+            v.value = best
+        if ctx.superstep < self.max_iters:
+            ctx.send_to_neighbors(v, v.value)
+        else:
+            ctx.vote_to_halt()
+
+
+def pregel_lpa(graph: Graph, num_workers: int = 4, max_iters: int = 10) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_LPAProgram(max_iters), label="lpa")
+    return BaselineResult(
+        "lpa", "pregel", values, fw.metrics, extra={"num_labels": len(set(values))}
+    )
+
+
+# ----------------------------------------------------------------------
+# SCC — forward-backward coloring with a master-driven phase machine
+# ----------------------------------------------------------------------
+class _SCCProgram(PregelProgram):
+    aggregators = {"changed": lambda a, b: a or b, "unassigned": lambda a, b: a + b}
+
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [-1, vid]  # [scc, fid]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        scc, fid = v.value
+        phase = ctx.aggregated("phase", "color_init")
+        if phase == "done":
+            ctx.vote_to_halt()
+            return
+        if scc != -1:
+            # Assigned vertices idle but stay awake for the phase machine.
+            return
+
+        if phase == "color_init":
+            v.value = [scc, v.id]
+            for t in v.out_neighbors:
+                ctx.send(t, ("fid", v.id))
+            ctx.aggregate("changed", True)
+        elif phase == "color":
+            new_fid = min([m[1] for m in messages if m[0] == "fid"], default=fid)
+            if new_fid < fid:
+                v.value = [scc, new_fid]
+                for t in v.out_neighbors:
+                    ctx.send(t, ("fid", new_fid))
+                ctx.aggregate("changed", True)
+        elif phase == "claim_init":
+            if fid == v.id:
+                v.value = [v.id, fid]
+                for t in v.in_neighbors:
+                    ctx.send(t, ("claim", v.id))
+                ctx.aggregate("changed", True)
+            ctx.aggregate("unassigned", 0)
+        elif phase == "claim":
+            claimed = any(m[0] == "claim" and m[1] == fid for m in messages)
+            if claimed:
+                v.value = [fid, fid]
+                for t in v.in_neighbors:
+                    ctx.send(t, ("claim", fid))
+                ctx.aggregate("changed", True)
+            else:
+                ctx.aggregate("unassigned", 1)
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        phase = ctx.aggregated("phase", "color_init")
+        changed = aggregated.get("changed", False)
+        if phase == "color_init":
+            return {"phase": "color"}
+        if phase == "color":
+            return {"phase": "color" if changed else "claim_init"}
+        if phase == "claim_init":
+            return {"phase": "claim"}
+        # claim phase: when stable, either finish or start a new round.
+        if changed:
+            return {"phase": "claim"}
+        if aggregated.get("unassigned", 0) == 0:
+            return {"phase": "done"}
+        return {"phase": "color_init"}
+
+
+def pregel_scc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    if not graph.directed:
+        raise ValueError("scc needs a directed graph")
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_SCCProgram(), label="scc")
+    return BaselineResult("scc", "pregel", [scc for scc, _ in values], fw.metrics)
+
+
+# ----------------------------------------------------------------------
+# MSF — Boruvka with master-side component merging
+# ----------------------------------------------------------------------
+class _MSFProgram(PregelProgram):
+    aggregators = {
+        "best": lambda a, b: {
+            comp: min(filter(None, (a.get(comp), b.get(comp))))
+            for comp in set(a) | set(b)
+        }
+    }
+
+    def __init__(self, graph: Graph):
+        self.chosen: List[Tuple[int, int, float]] = []
+        self._dsu = DSU(graph.num_vertices)
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return vid  # component label
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        if ctx.aggregated("done", False):
+            ctx.vote_to_halt()
+            return
+        phase = ctx.superstep % 3
+        if phase == 0:
+            remap = ctx.aggregated("remap", {})
+            v.value = remap.get(v.value, v.value)
+            ctx.send_to_neighbors(v, (v.id, v.value))
+        elif phase == 1:
+            best: Optional[Tuple[float, int, int, int]] = None
+            for nid, ncomp in messages:
+                if ncomp != v.value:
+                    w = v._framework.graph.weight(v.id, nid)
+                    cand = (w, min(v.id, nid), max(v.id, nid), ncomp)
+                    if best is None or cand < best:
+                        best = cand
+            if best is not None:
+                ctx.aggregate("best", {v.value: best})
+        # phase 2 is the master merge; vertices idle.
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        if ctx.superstep % 3 != 1:
+            return {k: ctx.aggregated(k) for k in ("remap", "done") if ctx.aggregated(k) is not None}
+        best = aggregated.get("best", {})
+        if not best:
+            return {"done": True}
+        merged = False
+        for comp, (w, s, d, _) in sorted(best.items()):
+            if self._dsu.union(s, d):
+                merged = True
+                self.chosen.append((s, d, w))
+        if not merged:
+            return {"done": True}
+        remap = {v: self._dsu.find(v) for v in range(len(self._dsu))}
+        return {"remap": remap}
+
+
+def pregel_msf(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    program = _MSFProgram(graph)
+    fw.run(program, label="msf")
+    total = sum(w for _, _, w in program.chosen)
+    return BaselineResult(
+        "msf",
+        "pregel",
+        program.chosen,
+        fw.metrics,
+        extra={"total_weight": total, "num_edges": len(program.chosen)},
+    )
+
+
+# ----------------------------------------------------------------------
+# BCC — a four-program chain (the paper: >3000 actual lines in Pregel+)
+# ----------------------------------------------------------------------
+class _BCCBfs(PregelProgram):
+    """BFS forest from each component's minimum-id vertex.
+
+    value = [dis, parent]; message = (sender_id, sender_dis).
+    """
+
+    def __init__(self, comp: List[int]):
+        self.comp = comp
+
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [0, -1] if self.comp[vid] == vid else [-1, -1]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        dis, parent = v.value
+        if ctx.superstep == 0:
+            if dis == 0:
+                ctx.send_to_neighbors(v, (v.id, 0))
+        elif dis == -1 and messages:
+            best = min(messages, key=lambda m: m[0])
+            v.value = [best[1] + 1, best[0]]
+            ctx.send_to_neighbors(v, (v.id, best[1] + 1))
+        ctx.vote_to_halt()
+
+
+class _BCCTokenWalk(PregelProgram):
+    """Spawn a token per non-tree edge at both endpoints and walk the
+    copies up the BFS tree, one depth level per superstep (deepest
+    first).  A vertex whose parent-edge a token traverses records the
+    token id; the two copies annihilate at their meeting vertex.
+
+    value = dict(held={tid: count}, T=frozenset of recorded tids).
+    Supersteps 0-1 exchange (id, parent, dis); superstep 2+k moves the
+    walkers sitting at depth ``max_dis - k``.
+    """
+
+    def __init__(self, dis: List[int], parent: List[int], max_dis: int):
+        self.dis = dis
+        self.parent = parent
+        self.max_dis = max_dis
+
+    def initial_value(self, vid: int, graph: Graph) -> Dict[str, Any]:
+        return {"held": {}, "T": frozenset()}
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        value = v.value
+        my_dis = self.dis[v.id]
+        my_parent = self.parent[v.id]
+        if my_dis == -1:
+            ctx.vote_to_halt()
+            return
+
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, ("info", v.id, my_parent))
+            return
+        if ctx.superstep == 1:
+            held: Dict[Tuple[int, int], int] = {}
+            for _, nid, nparent in messages:
+                if nid == my_parent or nparent == v.id or nid == v.id:
+                    continue  # tree edge or self loop
+                tid = (min(v.id, nid), max(v.id, nid))
+                held[tid] = held.get(tid, 0) + 1
+            v.value = {"held": held, "T": frozenset()}
+            return
+
+        # Walking supersteps: current depth counts down from max_dis.
+        depth = self.max_dis - (ctx.superstep - 2)
+        held = dict(value["held"])
+        recorded = set(value["T"])
+        for m in messages:
+            if m[0] == "tok":
+                for tid in m[1]:
+                    held[tid] = held.get(tid, 0) + 1
+        if depth >= 0 and my_dis == depth and held:
+            moving = [tid for tid, count in held.items() if count == 1]
+            # count >= 2 means both copies met here: they annihilate.
+            if moving and my_parent != -1:
+                recorded.update(moving)
+                ctx.send(my_parent, ("tok", tuple(moving)))
+            held = {}
+        v.value = {"held": held, "T": frozenset(recorded)}
+        if depth <= 0:
+            ctx.vote_to_halt()
+
+
+class _BCCLabel(PregelProgram):
+    """Min-label propagation over token-sharing tree edges.
+
+    The label of vertex v stands for the tree edge (parent(v), v).  Tree
+    edges meet at their shared vertex: every child sends
+    ``("up", id, label, T)`` to its parent, which locally groups the
+    incoming edges (plus its own parent edge) by token intersection and
+    replies ``("set", min_label)`` -- covering both parent/child *and*
+    sibling adjacency, which pure neighbor gossip would miss.
+    """
+
+    aggregators = {"changed": lambda a, b: a or b}
+
+    def __init__(self, parent: List[int], tokens: List[frozenset]):
+        self.parent = parent
+        self.tokens = tokens
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return vid
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        if ctx.aggregated("quiet_rounds", 0) >= 3:
+            ctx.vote_to_halt()
+            return
+        label = v.value
+        mine = self.tokens[v.id]
+        changed = False
+        for m in messages:
+            if m[0] == "set" and m[1] < label:
+                label = m[1]
+                changed = True
+
+        ups = [(m[1], m[2], m[3]) for m in messages if m[0] == "up"]
+        if ups:
+            items = list(ups)
+            if self.parent[v.id] != -1 and mine:
+                items.append((v.id, label, mine))
+            group = list(range(len(items)))
+
+            def find(i: int) -> int:
+                while group[i] != i:
+                    group[i] = group[group[i]]
+                    i = group[i]
+                return i
+
+            for i in range(len(items)):
+                for j in range(i + 1, len(items)):
+                    if items[i][2] & items[j][2]:
+                        ri, rj = find(i), find(j)
+                        if ri != rj:
+                            group[rj] = ri
+            best: Dict[int, int] = {}
+            for i, (_, lbl, _) in enumerate(items):
+                r = find(i)
+                best[r] = min(best.get(r, lbl), lbl)
+            for i, (cid, lbl, _) in enumerate(items):
+                gmin = best[find(i)]
+                if gmin < lbl:
+                    if cid == v.id:
+                        label = gmin
+                        changed = True
+                    else:
+                        ctx.send(cid, ("set", gmin))
+
+        if changed:
+            v.value = label
+            ctx.aggregate("changed", True)
+        if self.parent[v.id] != -1 and mine:
+            ctx.send(self.parent[v.id], ("up", v.id, label, mine))
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        quiet = ctx.aggregated("quiet_rounds", 0)
+        if ctx.superstep > 0 and not aggregated.get("changed", False):
+            quiet += 1
+        else:
+            quiet = 0
+        return {"quiet_rounds": quiet}
+
+
+def pregel_bcc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    comp = fw.run(_CCProgram(), label="bcc:cc")
+    fw.chain_cost("bcc:chain1")
+    bfs_values = fw.run(_BCCBfs(comp), label="bcc:bfs")
+    dis = [d for d, _ in bfs_values]
+    parent = [p for _, p in bfs_values]
+    max_dis = max((d for d in dis if d >= 0), default=0)
+    fw.chain_cost("bcc:chain2")
+    walk_values = fw.run(
+        _BCCTokenWalk(dis, parent, max_dis),
+        max_supersteps=max_dis + 10,
+        label="bcc:walk",
+    )
+    tokens = [v["T"] for v in walk_values]
+    fw.chain_cost("bcc:chain3")
+    labels = fw.run(_BCCLabel(parent, tokens), label="bcc:label")
+
+    edge_groups: Dict[Tuple[int, int], int] = {}
+    for s, d in graph.edges():
+        if s == d:
+            continue
+        if parent[d] == s:
+            edge_groups[(s, d)] = labels[d]
+        elif parent[s] == d:
+            edge_groups[(s, d)] = labels[s]
+        else:
+            deeper = s if dis[s] >= dis[d] else d
+            edge_groups[(s, d)] = labels[deeper]
+    return BaselineResult(
+        "bcc", "pregel", labels, fw.metrics, extra={"edge_groups": edge_groups}
+    )
+
+
+# ----------------------------------------------------------------------
+# Inexpressible applications (Table I / Table VI: no baseline exists)
+# ----------------------------------------------------------------------
+def pregel_rc(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    raise InexpressibleError(
+        "rectangle counting needs two-hop (beyond-neighborhood) pairs; the "
+        "Pregel model only communicates along edges"
+    )
+
+
+def pregel_cl(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    raise InexpressibleError(
+        "k-clique counting needs arbitrary-vertex neighbor-set reads; the "
+        "Pregel model cannot access remote state outside messages"
+    )
+
+
+# ----------------------------------------------------------------------
+# CC-opt — hook-and-jump in Pregel (Table I's half circle: expressible,
+# but every pointer jump needs a request/response message round trip and
+# the phases must be chained by a driver)
+# ----------------------------------------------------------------------
+class _CCOptJumpProgram(PregelProgram):
+    """Pointer jumping on a parent forest: each superstep every vertex
+    answers its children's requests with its current parent and asks its
+    own parent in turn; adoption happens when the response arrives (a
+    two-superstep pipeline — the performance cost the paper's half
+    circle denotes)."""
+
+    aggregators = {"changed": lambda a, b: a or b}
+
+    def __init__(self, parents: List[int]):
+        self.parents = parents
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return self.parents[vid]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        quiet = ctx.aggregated("quiet", 0)
+        if quiet >= 3:
+            ctx.vote_to_halt()
+            return
+        for m in messages:
+            if m[0] == "ask":
+                ctx.send(m[1], ("jump", v.value))
+        jumps = [m[1] for m in messages if m[0] == "jump"]
+        if jumps and min(jumps) != v.value:
+            v.value = min(jumps)
+            ctx.aggregate("changed", True)
+        if v.value != v.id:
+            ctx.send(v.value, ("ask", v.id))
+
+    def master_compute(self, ctx: PregelContext, aggregated: Dict[str, Any]) -> Dict[str, Any]:
+        quiet = ctx.aggregated("quiet", 0)
+        if ctx.superstep > 0 and not aggregated.get("changed"):
+            quiet += 1
+        else:
+            quiet = 0
+        return {"quiet": quiet}
+
+
+class _CCOptHookOnce(PregelProgram):
+    """One hooking pass over a *flattened* forest: neighbors exchange
+    root labels and every root adopts the smallest label offered to its
+    tree (three supersteps)."""
+
+    def __init__(self, parents: List[int]):
+        self.parents = parents
+
+    def initial_value(self, vid: int, graph: Graph) -> int:
+        return self.parents[vid]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, ("offer", v.value))
+        elif ctx.superstep == 1:
+            offers = [m[1] for m in messages if m[0] == "offer"]
+            if offers and min(offers) < v.value:
+                ctx.send(v.value, ("hook", min(offers)))
+        else:
+            hooks = [m[1] for m in messages if m[0] == "hook"]
+            if hooks and v.value == v.id and min(hooks) < v.value:
+                v.value = min(hooks)
+        ctx.vote_to_halt()
+
+
+def pregel_cc_opt(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    """Hook-and-jump connected components as a chained Pregel pipeline:
+    flatten (jump program, request/response round trips) then hook once,
+    repeating until a hook pass changes nothing."""
+    fw = PregelFramework(graph, num_workers)
+    parents = list(range(graph.num_vertices))
+    while True:
+        hooked = fw.run(_CCOptHookOnce(parents), label="cc_opt:hook")
+        if hooked == parents:
+            return BaselineResult("cc_opt", "pregel", parents, fw.metrics)
+        fw.chain_cost("cc_opt:chain")
+        parents = fw.run(_CCOptJumpProgram(hooked), label="cc_opt:jump")
+        fw.chain_cost("cc_opt:chain")
+
+
+# ----------------------------------------------------------------------
+# MM-opt — targeted-reactivation matching in Pregel (Table I half circle)
+# ----------------------------------------------------------------------
+class _MMOptProgram(PregelProgram):
+    """The optimized matching, Pregel-style: after each handshake round,
+    newly matched vertices notify exactly the unmatched vertices whose
+    recorded best proposer they were (targeted messages, no edge set
+    abstraction) so only those recompute.
+
+    value = [partner, best proposer, awaiting(0/1)].
+    """
+
+    def initial_value(self, vid: int, graph: Graph) -> List[int]:
+        return [-1, -1, 1]
+
+    def compute(self, ctx: PregelContext, v: PregelVertex, messages: List[Any]) -> None:
+        partner, best, awaiting = v.value
+        if partner != -1:
+            # Matched: answer any late reactivation pings, then sleep.
+            for m in messages:
+                if m[0] == "chosen":
+                    ctx.send(m[1], ("taken", v.id))
+            ctx.vote_to_halt()
+            return
+        phase = ctx.superstep % 3
+        if phase == 0:
+            reactivate = any(m[0] == "taken" for m in messages)
+            if awaiting or reactivate or ctx.superstep == 0:
+                ctx.send_to_neighbors(v, ("prop", v.id))
+                v.value = [partner, -1, 0]
+            else:
+                ctx.vote_to_halt()
+        elif phase == 1:
+            proposers = [m[1] for m in messages if m[0] == "prop"]
+            if not proposers:
+                ctx.vote_to_halt()
+                return
+            best = max(proposers)
+            v.value = [partner, best, 0]
+            ctx.send(best, ("chosen", v.id))
+        else:
+            choosers = {m[1] for m in messages if m[0] == "chosen"}
+            if best in choosers:
+                v.value = [best, best, 0]
+                # Tell everyone who chose us (and lost) to recompute.
+                for loser in choosers - {best}:
+                    ctx.send(loser, ("taken", v.id))
+            else:
+                v.value = [partner, best, 1]
+
+
+def pregel_mm_opt(graph: Graph, num_workers: int = 4) -> BaselineResult:
+    fw = PregelFramework(graph, num_workers)
+    values = fw.run(_MMOptProgram(), label="mm_opt")
+    partners = [p for p, _, _ in values]
+    pairs = [(v, p) for v, p in enumerate(partners) if p != -1 and v < p]
+    return BaselineResult("mm_opt", "pregel", partners, fw.metrics, extra={"matching": pairs})

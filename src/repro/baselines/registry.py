@@ -1,0 +1,110 @@
+"""Registry mapping (framework, application) → runner.
+
+This is what the Table V / Table VI / Fig. 1 benchmarks iterate over.
+Entries that a framework cannot express are present but raise
+:class:`~repro.errors.InexpressibleError` when called — the benchmark
+renders them as the paper's "—".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines import gas_apps, gemini_apps, ligra_apps, pregel_apps
+from repro.baselines.base import BaselineResult
+from repro.errors import InexpressibleError
+from repro.graph.graph import Graph
+
+Runner = Callable[..., BaselineResult]
+
+PREGEL_SUITE: Dict[str, Runner] = {
+    "cc": pregel_apps.pregel_cc,
+    "bfs": pregel_apps.pregel_bfs,
+    "bc": pregel_apps.pregel_bc,
+    "mis": pregel_apps.pregel_mis,
+    "mm": pregel_apps.pregel_mm,
+    "kc": pregel_apps.pregel_kc,
+    "tc": pregel_apps.pregel_tc,
+    "gc": pregel_apps.pregel_gc,
+    "scc": pregel_apps.pregel_scc,
+    "bcc": pregel_apps.pregel_bcc,
+    "lpa": pregel_apps.pregel_lpa,
+    "msf": pregel_apps.pregel_msf,
+    "rc": pregel_apps.pregel_rc,
+    "cl": pregel_apps.pregel_cl,
+}
+
+GAS_SUITE: Dict[str, Runner] = {
+    "cc": gas_apps.gas_cc,
+    "bfs": gas_apps.gas_bfs,
+    "bc": gas_apps.gas_bc,
+    "mis": gas_apps.gas_mis,
+    "mm": gas_apps.gas_mm,
+    "kc": gas_apps.gas_kc,
+    "tc": gas_apps.gas_tc,
+    "gc": gas_apps.gas_gc,
+    "scc": gas_apps.gas_scc,
+    "bcc": gas_apps.gas_bcc,
+    "lpa": gas_apps.gas_lpa,
+    "msf": gas_apps.gas_msf,
+    "rc": gas_apps.gas_rc,
+    "cl": gas_apps.gas_cl,
+}
+
+GEMINI_SUITE: Dict[str, Runner] = {
+    "cc": gemini_apps.gemini_cc,
+    "bfs": gemini_apps.gemini_bfs,
+    "bc": gemini_apps.gemini_bc,
+    "mis": gemini_apps.gemini_mis,
+    "mm": gemini_apps.gemini_mm,
+    "kc": gemini_apps.gemini_kc,
+    "tc": gemini_apps.gemini_tc,
+    "gc": gemini_apps.gemini_gc,
+    "scc": gemini_apps.gemini_scc,
+    "bcc": gemini_apps.gemini_bcc,
+    "lpa": gemini_apps.gemini_lpa,
+    "msf": gemini_apps.gemini_msf,
+    "rc": gemini_apps.gemini_rc,
+    "cl": gemini_apps.gemini_cl,
+}
+
+LIGRA_SUITE: Dict[str, Runner] = {
+    "cc": ligra_apps.ligra_cc,
+    "bfs": ligra_apps.ligra_bfs,
+    "bc": ligra_apps.ligra_bc,
+    "mis": ligra_apps.ligra_mis,
+    "mm": ligra_apps.ligra_mm,
+    "kc": ligra_apps.ligra_kc,
+    "tc": ligra_apps.ligra_tc,
+    "gc": ligra_apps.ligra_gc,
+    "scc": ligra_apps.ligra_scc,
+    "bcc": ligra_apps.ligra_bcc,
+    "lpa": ligra_apps.ligra_lpa,
+    "msf": ligra_apps.ligra_msf,
+    "rc": ligra_apps.ligra_rc,
+    "cl": ligra_apps.ligra_cl,
+}
+
+SUITES: Dict[str, Dict[str, Runner]] = {
+    "pregel": PREGEL_SUITE,
+    "gas": GAS_SUITE,
+    "gemini": GEMINI_SUITE,
+    "ligra": LIGRA_SUITE,
+}
+
+
+def can_express(framework: str, app: str) -> bool:
+    """Whether a baseline can express an application at all (probed by
+    calling its runner on a two-vertex graph)."""
+    runner = SUITES[framework].get(app)
+    if runner is None:
+        return False
+    probe = Graph.from_edges([(0, 1)], directed=(app == "scc"), num_vertices=2)
+    try:
+        runner(probe, num_workers=1)
+    except InexpressibleError:
+        return False
+    except Exception:
+        # Any other failure still means the model can express it.
+        return True
+    return True

@@ -1,0 +1,102 @@
+"""Critical-property analysis — the code generator's static analysis
+(paper §IV-B/§IV-C, Table II).
+
+The real FLASH compiler inspects the generated code to classify every
+property access as ``get``/``put`` on the ``source``/``target`` of each
+kernel, then applies Table II: a property is *critical* (must be synced
+to mirrors) iff it is
+
+* ``get`` as the **source** property of an ``EDGEMAPDENSE``, or
+* ``get``/``put`` as the **target** property of an ``EDGEMAPSPARSE``.
+
+Since our kernels interpret user functions directly, we reproduce the
+analysis by *tracing*: before a kernel's main loop, its user functions
+run once against recording views on a sample edge, and the recorded
+events are classified by the same table.  Writes during tracing are
+discarded.  (Branch-dependent accesses may be missed on the sample —
+the same limitation any single-path abstract interpretation has; the
+engine's ``get`` handle additionally promotes properties read remotely
+at runtime, see :meth:`repro.core.engine.FlashEngine.get`.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.edgeset import EdgeSet
+from repro.core.subset import VertexSubset
+from repro.core.vertex import TracingView
+
+Event = Tuple[str, str, str]  # (op, role, property)
+
+
+def classify_events(kind: str, events: Iterable[Event]) -> Tuple[Set[str], Set[str]]:
+    """Apply Table II to a trace.
+
+    Returns ``(critical, seen)`` — the properties decided critical for
+    this kernel kind, and every property touched at all.
+    """
+    critical: Set[str] = set()
+    seen: Set[str] = set()
+    for op, role, prop in events:
+        seen.add(prop)
+        if kind == "edge_map_dense" and op == "get" and role == "source":
+            critical.add(prop)
+        elif kind == "edge_map_sparse" and role == "target":
+            critical.add(prop)
+    return critical, seen
+
+
+def _run_traced(fn: Optional[Callable], args: tuple) -> None:
+    if fn is None:
+        return
+    try:
+        fn(*args)
+    except Exception:
+        # A trace may legitimately blow up (e.g. arithmetic on a sentinel
+        # value); whatever events were recorded before the failure still
+        # feed the classification.
+        pass
+
+
+def analyze_vertex_map(engine, subset: VertexSubset, F, M) -> None:
+    """Trace a VERTEXMAP call.  Per Table II, VERTEXMAP accesses are never
+    critical; we only record which properties the program touches."""
+    sample = next(iter(subset), None)
+    if sample is None:
+        return
+    events: List[Event] = []
+    v = TracingView(engine, sample, "self", events)
+    _run_traced(F, (v,))
+    _run_traced(M, (v,))
+    _, seen = classify_events("vertex_map", events)
+    engine.flashware.note_analyzed(seen)
+
+
+def analyze_edge_map(engine, kind: str, subset: VertexSubset, edges: EdgeSet, F, M, C, R) -> None:
+    """Trace an EDGEMAP call on a sample active edge and mark the critical
+    properties before the kernel runs."""
+    sample = None
+    for u in itertools.islice(subset, 8):
+        targets = edges.out_targets(engine, u)
+        if len(targets):
+            sample = (u, int(targets[0]))
+            break
+    if sample is None:
+        first = next(iter(subset), None)
+        if first is None:
+            return
+        sample = (first, first)
+
+    events: List[Event] = []
+    src = TracingView(engine, sample[0], "source", events)
+    dst = TracingView(engine, sample[1], "target", events)
+    tmp = TracingView(engine, sample[1], "target", events)
+    _run_traced(C, (dst,))
+    _run_traced(F, (src, dst))
+    _run_traced(M, (src, dst))
+    _run_traced(R, (tmp, dst))
+    critical, seen = classify_events(kind, events)
+    engine.flashware.mark_critical(critical)
+    engine.flashware.note_analyzed(seen)

@@ -1,0 +1,73 @@
+"""Disjoint-set union — the pre-defined helper FLASH ships for BCC/MSF.
+
+The paper (Appendix B-H, B-J): "``dsu_find`` and ``dsu_union`` are
+pre-defined functions provided by FLASH, to implement the disjoint set
+(union find algorithm) which is often used in graph applications."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class DSU:
+    """Union-find over the ids ``0 .. n-1`` with path compression and
+    union by rank."""
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_components(self) -> int:
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the components of ``x`` and ``y``.  Returns True when the
+        components were previously distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self._count -= 1
+        return True
+
+    def same(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def roots(self) -> Iterator[int]:
+        """All component representatives."""
+        return (x for x in range(len(self._parent)) if self.find(x) == x)
+
+    def components(self) -> Dict[int, List[int]]:
+        """Mapping of representative → member ids."""
+        out: Dict[int, List[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def labels(self) -> List[int]:
+        """Component representative per id (a flat labeling)."""
+        return [self.find(x) for x in range(len(self._parent))]

@@ -1,0 +1,353 @@
+"""Edge sets — including beyond-neighborhood (virtual) edges.
+
+The paper's key extension over Ligra (§III-A, §III-C "communication
+beyond neighborhood"): ``EDGEMAP`` takes an explicit edge set ``H`` which
+may be the graph's edges ``E``, a derived set, or *virtual* edges that do
+not exist in the graph at all:
+
+* ``reverse(E)`` — reversed edges (Brandes' backward phase);
+* ``join(E, E)`` — two-hop neighbors (rectangle counting);
+* ``join(E, U)`` — edges whose target lies in the subset ``U``;
+* ``join(U, p)`` — virtual edges ``u -> u.p`` from each ``u`` in ``U`` to
+  the vertex named by its property ``p`` (pointer-jumping in CC-opt);
+* ``join(p, U)`` — the reverse, ``u.p -> u``;
+* ``join(H, p)`` — an edge set with targets mapped through property ``p``
+  (e.g. ``join(join(U, p), p)`` reaches grandparents);
+* ``edges_from(fn)`` — arbitrary user-defined targets per source.
+
+Edge sets resolve the *current* property snapshot when a kernel starts
+(``prepare``), matching BSP semantics.  ``within_graph`` tells FLASHWARE
+whether mirror syncs can be restricted to necessary mirrors or must
+broadcast to all partitions (§IV-C, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.subset import VertexSubset
+from repro.errors import FlashUsageError
+
+
+class EdgeSet:
+    """Abstract edge set over a graph; concrete sets define enumeration
+    in the push direction (``out_targets``) and the pull direction
+    (``in_sources``)."""
+
+    #: True when every edge of the set is an edge of the input graph, so
+    #: masters only need to sync with *necessary* mirrors.
+    within_graph: bool = True
+
+    def prepare(self, engine) -> None:
+        """Snapshot any property-derived structure at kernel start."""
+
+    def out_targets(self, engine, s: int) -> Sequence[int]:
+        """Targets of edges leaving ``s`` (push/sparse enumeration)."""
+        raise NotImplementedError
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        """Sources of edges entering ``d`` (pull/dense enumeration)."""
+        raise NotImplementedError
+
+    def candidate_targets(self, engine) -> Optional[Iterable[int]]:
+        """An optional restriction of the dense-mode target loop; ``None``
+        means all vertices must be scanned."""
+        return None
+
+    def out_work(self, engine, subset: VertexSubset) -> int:
+        """Estimated active-edge count for the density heuristic."""
+        return sum(len(self.out_targets(engine, u)) for u in subset)
+
+
+class BaseEdges(EdgeSet):
+    """``E`` — the edges of the input graph."""
+
+    within_graph = True
+
+    def out_targets(self, engine, s: int) -> Sequence[int]:
+        return engine.graph.out_neighbors(s)
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        return engine.graph.in_neighbors(d)
+
+    def out_work(self, engine, subset: VertexSubset) -> int:
+        return sum(engine.graph.out_degree(u) for u in subset)
+
+    def __repr__(self) -> str:
+        return "E"
+
+
+class ReverseEdges(EdgeSet):
+    """``reverse(H)`` — every edge flipped."""
+
+    def __init__(self, inner: EdgeSet):
+        self.inner = inner
+        self.within_graph = inner.within_graph
+
+    def prepare(self, engine) -> None:
+        self.inner.prepare(engine)
+
+    def out_targets(self, engine, s: int) -> Sequence[int]:
+        return self.inner.in_sources(engine, s)
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        return self.inner.out_targets(engine, d)
+
+    def __repr__(self) -> str:
+        return f"reverse({self.inner!r})"
+
+
+class TargetFilteredEdges(EdgeSet):
+    """``join(H, U)`` — edges of ``H`` whose target lies in ``U``."""
+
+    def __init__(self, inner: EdgeSet, subset: VertexSubset):
+        self.inner = inner
+        self.subset = subset
+        self.within_graph = inner.within_graph
+
+    def prepare(self, engine) -> None:
+        self.inner.prepare(engine)
+
+    def out_targets(self, engine, s: int) -> List[int]:
+        return [d for d in self.inner.out_targets(engine, s) if d in self.subset]
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        if d not in self.subset:
+            return ()
+        return self.inner.in_sources(engine, d)
+
+    def candidate_targets(self, engine) -> Iterable[int]:
+        return self.subset
+
+    def out_work(self, engine, subset: VertexSubset) -> int:
+        # Active work is bounded by the in-edges of the target filter —
+        # far cheaper to estimate than scanning every source.
+        return sum(len(self.inner.in_sources(engine, t)) for t in self.subset)
+
+    def __repr__(self) -> str:
+        return f"join({self.inner!r}, U[{self.subset.size()}])"
+
+
+class SourceFilteredEdges(EdgeSet):
+    """``join(U, H)`` — edges of ``H`` whose source lies in ``U``."""
+
+    def __init__(self, subset: VertexSubset, inner: EdgeSet):
+        self.inner = inner
+        self.subset = subset
+        self.within_graph = inner.within_graph
+
+    def prepare(self, engine) -> None:
+        self.inner.prepare(engine)
+
+    def out_targets(self, engine, s: int) -> Sequence[int]:
+        if s not in self.subset:
+            return ()
+        return self.inner.out_targets(engine, s)
+
+    def in_sources(self, engine, d: int) -> List[int]:
+        return [s for s in self.inner.in_sources(engine, d) if s in self.subset]
+
+    def candidate_targets(self, engine) -> Optional[Iterable[int]]:
+        return self.inner.candidate_targets(engine)
+
+    def __repr__(self) -> str:
+        return f"join(U[{self.subset.size()}], {self.inner!r})"
+
+
+class TwoHopEdges(EdgeSet):
+    """``join(E, E)`` — virtual edges to two-hop neighbors."""
+
+    within_graph = False
+
+    def out_targets(self, engine, s: int) -> List[int]:
+        g = engine.graph
+        seen = set()
+        for mid in g.out_neighbors(s):
+            for t in g.out_neighbors(mid):
+                if t != s:
+                    seen.add(int(t))
+        return sorted(seen)
+
+    def in_sources(self, engine, d: int) -> List[int]:
+        g = engine.graph
+        seen = set()
+        for mid in g.in_neighbors(d):
+            for s in g.in_neighbors(mid):
+                if s != d:
+                    seen.add(int(s))
+        return sorted(seen)
+
+    def out_work(self, engine, subset: VertexSubset) -> int:
+        g = engine.graph
+        return sum(
+            sum(g.out_degree(mid) for mid in g.out_neighbors(u)) for u in subset
+        )
+
+    def __repr__(self) -> str:
+        return "join(E, E)"
+
+
+class PropertyEdges(EdgeSet):
+    """``join(U, p)`` — virtual edges ``u -> u.p`` for ``u`` in ``U``.
+
+    The property value names the target vertex id; values outside
+    ``[0, |V|)`` (e.g. an ``INF`` sentinel) produce no edge.
+    """
+
+    within_graph = False
+
+    def __init__(self, subset: VertexSubset, prop: str):
+        self.subset = subset
+        self.prop = prop
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
+
+    def prepare(self, engine) -> None:
+        n = engine.graph.num_vertices
+        state = engine.flashware.state
+        self._out = {}
+        self._in = {}
+        for u in self.subset:
+            t = state.get(u, self.prop)
+            if isinstance(t, bool) or not isinstance(t, int):
+                continue
+            if 0 <= t < n:
+                self._out.setdefault(u, []).append(t)
+                self._in.setdefault(t, []).append(u)
+
+    def out_targets(self, engine, s: int) -> Sequence[int]:
+        return self._out.get(s, ())
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        return self._in.get(d, ())
+
+    def candidate_targets(self, engine) -> Iterable[int]:
+        return sorted(self._in)
+
+    def out_work(self, engine, subset: VertexSubset) -> int:
+        return subset.size()
+
+    def __repr__(self) -> str:
+        return f"join(U[{self.subset.size()}], {self.prop!r})"
+
+
+class MappedTargetEdges(EdgeSet):
+    """``join(H, p)`` — edges of ``H`` with targets mapped through ``p``
+    (so ``join(join(U, p), p)`` reaches ``u.p.p``)."""
+
+    within_graph = False
+
+    def __init__(self, inner: EdgeSet, prop: str):
+        self.inner = inner
+        self.prop = prop
+        self._in: Optional[Dict[int, List[int]]] = None
+
+    def prepare(self, engine) -> None:
+        self.inner.prepare(engine)
+        self._in = None
+
+    def _map(self, engine, d: int) -> Optional[int]:
+        t = engine.flashware.state.get(d, self.prop)
+        if isinstance(t, bool) or not isinstance(t, int):
+            return None
+        if 0 <= t < engine.graph.num_vertices:
+            return t
+        return None
+
+    def out_targets(self, engine, s: int) -> List[int]:
+        out = []
+        for d in self.inner.out_targets(engine, s):
+            t = self._map(engine, d)
+            if t is not None:
+                out.append(t)
+        return out
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        if self._in is None:
+            # Build the reverse index lazily by a full scan; only the dense
+            # kernel needs it and only for small virtual sets in practice.
+            self._in = {}
+            for s in range(engine.graph.num_vertices):
+                for t in self.out_targets(engine, s):
+                    self._in.setdefault(t, []).append(s)
+        return self._in.get(d, ())
+
+    def __repr__(self) -> str:
+        return f"join({self.inner!r}, {self.prop!r})"
+
+
+class FunctionEdges(EdgeSet):
+    """``edges_from(fn)`` — arbitrary user-defined edges: ``fn(engine, s)``
+    (or ``fn(s)``) yields the target ids for source ``s``."""
+
+    within_graph = False
+
+    def __init__(self, fn: Callable, name: str = "user"):
+        self.fn = fn
+        self.name = name
+        self._in: Optional[Dict[int, List[int]]] = None
+
+    def prepare(self, engine) -> None:
+        self._in = None
+
+    def out_targets(self, engine, s: int) -> List[int]:
+        try:
+            targets = self.fn(engine, s)
+        except TypeError:
+            targets = self.fn(s)
+        return [int(t) for t in targets]
+
+    def in_sources(self, engine, d: int) -> Sequence[int]:
+        if self._in is None:
+            self._in = {}
+            for s in range(engine.graph.num_vertices):
+                for t in self.out_targets(engine, s):
+                    self._in.setdefault(t, []).append(s)
+        return self._in.get(d, ())
+
+    def __repr__(self) -> str:
+        return f"edges_from({self.name})"
+
+
+# ----------------------------------------------------------------------
+# Constructors mirroring the paper's notation
+# ----------------------------------------------------------------------
+def reverse(edges: EdgeSet) -> EdgeSet:
+    """``reverse(E)`` — the edge set with directions flipped."""
+    if isinstance(edges, ReverseEdges):
+        return edges.inner
+    return ReverseEdges(edges)
+
+
+def join(
+    a: Union[EdgeSet, VertexSubset, str],
+    b: Union[EdgeSet, VertexSubset, str],
+) -> EdgeSet:
+    """The paper's ``join`` operator, dispatching on argument types.
+
+    ``join(E, E)`` → two-hop; ``join(E, U)`` → target filter;
+    ``join(U, E)`` → source filter; ``join(U, p)`` / ``join(p, U)`` →
+    virtual parent-pointer edges; ``join(H, p)`` → mapped targets.
+    """
+    if isinstance(a, EdgeSet) and isinstance(b, EdgeSet):
+        if isinstance(a, BaseEdges) and isinstance(b, BaseEdges):
+            return TwoHopEdges()
+        raise FlashUsageError("join of two edge sets is only defined for join(E, E)")
+    if isinstance(a, EdgeSet) and isinstance(b, VertexSubset):
+        return TargetFilteredEdges(a, b)
+    if isinstance(a, VertexSubset) and isinstance(b, EdgeSet):
+        return SourceFilteredEdges(a, b)
+    if isinstance(a, VertexSubset) and isinstance(b, str):
+        return PropertyEdges(a, b)
+    if isinstance(a, str) and isinstance(b, VertexSubset):
+        return ReverseEdges(PropertyEdges(b, a))
+    if isinstance(a, EdgeSet) and isinstance(b, str):
+        return MappedTargetEdges(a, b)
+    raise FlashUsageError(
+        f"join() cannot combine {type(a).__name__} and {type(b).__name__}"
+    )
+
+
+def edges_from(fn: Callable, name: str = "user") -> EdgeSet:
+    """An arbitrary user-defined (virtual) edge set."""
+    return FunctionEdges(fn, name)

@@ -1,0 +1,403 @@
+"""The FLASH engine: primitives bound to a graph and its FLASHWARE.
+
+A :class:`FlashEngine` owns one graph, its vertex properties, and a
+:class:`~repro.runtime.flashware.Flashware` middleware instance.  It
+exposes the paper's primary functions (§III-A) as methods:
+
+* ``size(U)``
+* ``vertex_map(U, F, M)``
+* ``edge_map(U, H, F, M, C, R)`` — adaptively dense or sparse
+* ``edge_map_dense(U, H, F, M, C)`` — the pull kernel (Algorithm 5)
+* ``edge_map_sparse(U, H, F, M, C, R)`` — the push kernel (Algorithm 6)
+
+plus the auxiliary pieces: ``V``/``E`` accessors, subset construction,
+the FLASHWARE ``get`` for beyond-neighborhood reads, a ``collect``
+gather (the paper's ``REDUCE`` auxiliary used by MSF/BCC), and DSU
+helpers.  Every primitive call is one BSP superstep recorded in
+``engine.metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis import analyze_edge_map, analyze_vertex_map
+from repro.core.dsu import DSU
+from repro.core.edgeset import BaseEdges, EdgeSet
+from repro.core.subset import VertexSubset
+from repro.core.vertex import RESERVED_ATTRIBUTES, VertexView, WorkingView
+from repro.errors import FlashUsageError
+from repro.graph.graph import Graph
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.costmodel import CostBreakdown, CostModel
+from repro.runtime.flashware import Flashware, FlashwareOptions
+from repro.runtime.metrics import Metrics
+
+VertexFn = Callable[..., Any]
+
+
+class _RemoteGetView(VertexView):
+    """View returned by ``engine.get``: reading a property through it can
+    touch an arbitrary (possibly remote) vertex, so the property must be
+    kept consistent on mirrors — it is promoted to critical on first use
+    (the ahead-of-time code generator would reach the same verdict from
+    the ``get`` call site)."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        value = super().__getattr__(name)
+        fw = self._engine.flashware
+        if not fw.is_critical(name) and fw.state.has_property(name):
+            fw.mark_critical([name])
+        return value
+
+
+class FlashEngine:
+    """Execution engine for FLASH programs over one graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        options: Optional[FlashwareOptions] = None,
+        dense_threshold: Optional[int] = None,
+        partition_strategy: str = "hash",
+        auto_analyze: bool = True,
+    ):
+        self.graph = graph
+        self.flashware = Flashware(
+            graph, num_workers, options=options, partition_strategy=partition_strategy
+        )
+        # Ligra's heuristic: go dense when active work exceeds |arcs| / 20.
+        if dense_threshold is None:
+            dense_threshold = max(graph.num_arcs // 20, 1)
+        self.dense_threshold = dense_threshold
+        self.auto_analyze = auto_analyze
+        self._E = BaseEdges()
+        self._owner = self.flashware.partition.owner_of
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self.flashware.partition.num_partitions
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.flashware.metrics
+
+    @property
+    def V(self) -> VertexSubset:
+        """A subset containing every vertex."""
+        return VertexSubset(self, range(self.graph.num_vertices))
+
+    @property
+    def E(self) -> EdgeSet:
+        """The graph's edge set."""
+        return self._E
+
+    def subset(self, ids: Iterable[int]) -> VertexSubset:
+        """Build a vertex subset from ids."""
+        return VertexSubset(self, ids)
+
+    def empty(self) -> VertexSubset:
+        return VertexSubset(self, ())
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    def add_property(
+        self,
+        name: str,
+        default: Any = None,
+        factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Declare a vertex property visible as ``v.<name>`` in user
+        functions.  Mutable defaults are copied per vertex."""
+        if name in RESERVED_ATTRIBUTES:
+            raise FlashUsageError(f"{name!r} is a reserved vertex attribute")
+        self.flashware.state.add_property(name, default=default, factory=factory)
+
+    def values(self, name: str) -> List[Any]:
+        """A copy of the current column for property ``name``."""
+        return list(self.flashware.state.column(name))
+
+    def drop_property(self, name: str) -> None:
+        """Remove a property (lets two algorithms share one engine when
+        their property names collide)."""
+        self.flashware.state.remove_property(name)
+
+    def value(self, vid: int, name: str) -> Any:
+        return self.flashware.state.get(vid, name)
+
+    def get(self, vid: int) -> VertexView:
+        """FLASHWARE's ``get``: a read-only view of any vertex's current
+        state (usable from anywhere, e.g. inside a VERTEXMAP that walks
+        other vertices' neighbor lists — CL, BCC)."""
+        return _RemoteGetView(self, vid)
+
+    def charge(self, vid: int, ops: int) -> None:
+        """Charge extra compute work to the worker mastering ``vid`` —
+        used by algorithms whose user functions do more than O(1) work
+        per invocation (set intersections in TC/RC/CL, local sorts in
+        MSF), so the cost model sees the real per-worker load."""
+        self.flashware.charge_ops(self._owner(vid), ops)
+
+    # ------------------------------------------------------------------
+    # SIZE
+    # ------------------------------------------------------------------
+    def size(self, subset: VertexSubset) -> int:
+        """``SIZE(U)``."""
+        return subset.size()
+
+    # ------------------------------------------------------------------
+    # VERTEXMAP (Algorithm 1)
+    # ------------------------------------------------------------------
+    def vertex_map(
+        self,
+        subset: VertexSubset,
+        F: Optional[VertexFn] = None,
+        M: Optional[VertexFn] = None,
+        label: str = "",
+    ) -> VertexSubset:
+        """Apply ``M`` to each vertex of ``subset`` passing ``F``; return
+        the subset of vertices that passed ``F``."""
+        fw = self.flashware
+        fw.begin_superstep("vertex_map", label, frontier_in=subset.size())
+        if self.auto_analyze:
+            analyze_vertex_map(self, subset, F, M)
+        out: List[int] = []
+        updates: Dict[int, Dict[str, Any]] = {}
+        try:
+            for vid in subset:
+                worker = self._owner(vid)
+                view = WorkingView(self, vid)
+                if F is not None:
+                    fw.charge_ops(worker, 1)
+                    if not F(view):
+                        continue
+                if M is not None:
+                    fw.charge_ops(worker, 1)
+                    result = M(view)
+                    if isinstance(result, WorkingView):
+                        view = result
+                out.append(vid)
+                if view.staged:
+                    updates[vid] = dict(view.staged)
+        except Exception:
+            fw.abort_superstep()
+            raise
+        fw.barrier(updates, None, broadcast_all=False, frontier_out=len(out))
+        return VertexSubset(self, out)
+
+    # ------------------------------------------------------------------
+    # EDGEMAP (Algorithms 4-6)
+    # ------------------------------------------------------------------
+    def edge_map(
+        self,
+        subset: VertexSubset,
+        edges: EdgeSet,
+        F: Optional[VertexFn] = None,
+        M: Optional[VertexFn] = None,
+        C: Optional[VertexFn] = None,
+        R: Optional[VertexFn] = None,
+        label: str = "",
+    ) -> VertexSubset:
+        """Adaptive EDGEMAP: dense (pull) when the active set is heavy,
+        sparse (push) otherwise (Algorithm 4).  With ``R=None`` the pull
+        mode is forced, since push needs a reduce function (§III-A)."""
+        if R is None:
+            self.metrics.note_mode("dense")
+            return self.edge_map_dense(subset, edges, F, M, C, label=label)
+        work = edges.out_work(self, subset) + subset.size()
+        if work > self.dense_threshold:
+            self.metrics.note_mode("dense")
+            return self.edge_map_dense(subset, edges, F, M, C, label=label)
+        self.metrics.note_mode("sparse")
+        return self.edge_map_sparse(subset, edges, F, M, C, R, label=label)
+
+    def edge_map_dense(
+        self,
+        subset: VertexSubset,
+        edges: EdgeSet,
+        F: Optional[VertexFn] = None,
+        M: Optional[VertexFn] = None,
+        C: Optional[VertexFn] = None,
+        label: str = "",
+    ) -> VertexSubset:
+        """The pull kernel (Algorithm 5): every candidate target scans its
+        in-neighbors in the active set and applies ``M`` sequentially to
+        its own working copy, stopping early when ``C`` fails."""
+        if M is None:
+            raise FlashUsageError("edge_map_dense requires a map function M")
+        fw = self.flashware
+        edges.prepare(self)
+        fw.begin_superstep("edge_map_dense", label, frontier_in=subset.size())
+        if self.auto_analyze:
+            analyze_edge_map(self, "edge_map_dense", subset, edges, F, M, C, None)
+
+        candidates = edges.candidate_targets(self)
+        if candidates is None:
+            target_iter: Iterable[int] = range(self.graph.num_vertices)
+        else:
+            target_iter = sorted({int(v) for v in candidates})
+
+        out: List[int] = []
+        updates: Dict[int, Dict[str, Any]] = {}
+        try:
+            for vid in target_iter:
+                sources = edges.in_sources(self, vid)
+                if len(sources) == 0:
+                    continue
+                worker = self._owner(vid)
+                view = WorkingView(self, vid)
+                applied = False
+                for src in sources:
+                    src = int(src)
+                    fw.charge_ops(worker, 1)
+                    if C is not None and not C(view):
+                        break
+                    if src not in subset:
+                        continue
+                    src_view = VertexView(self, src)
+                    if F is None or F(src_view, view):
+                        result = M(src_view, view)
+                        if isinstance(result, WorkingView):
+                            view = result
+                        applied = True
+                if applied:
+                    out.append(vid)
+                    if view.staged:
+                        updates[vid] = dict(view.staged)
+        except Exception:
+            fw.abort_superstep()
+            raise
+        fw.barrier(
+            updates,
+            None,
+            broadcast_all=not edges.within_graph,
+            frontier_out=len(out),
+        )
+        return VertexSubset(self, out)
+
+    def edge_map_sparse(
+        self,
+        subset: VertexSubset,
+        edges: EdgeSet,
+        F: Optional[VertexFn] = None,
+        M: Optional[VertexFn] = None,
+        C: Optional[VertexFn] = None,
+        R: Optional[VertexFn] = None,
+        label: str = "",
+    ) -> VertexSubset:
+        """The push kernel (Algorithm 6): active sources produce temporary
+        target values, which are folded into the target's next state with
+        the (associative, commutative) reduce function ``R``."""
+        if M is None:
+            raise FlashUsageError("edge_map_sparse requires a map function M")
+        if R is None:
+            raise FlashUsageError(
+                "edge_map_sparse requires a reduce function R; use edge_map / "
+                "edge_map_dense for the pull mode that applies M sequentially"
+            )
+        fw = self.flashware
+        edges.prepare(self)
+        fw.begin_superstep("edge_map_sparse", label, frontier_in=subset.size())
+        if self.auto_analyze:
+            analyze_edge_map(self, "edge_map_sparse", subset, edges, F, M, C, R)
+
+        temps: Dict[int, List[Tuple[Dict[str, Any], int]]] = {}
+        out: Set[int] = set()
+        try:
+            for u in subset:
+                worker = self._owner(u)
+                src_view = VertexView(self, u)
+                for d in edges.out_targets(self, u):
+                    d = int(d)
+                    fw.charge_ops(worker, 1)
+                    if C is not None and not C(VertexView(self, d)):
+                        continue
+                    tgt_view = WorkingView(self, d)
+                    if F is not None and not F(src_view, tgt_view):
+                        continue
+                    result = M(src_view, tgt_view)
+                    if isinstance(result, WorkingView):
+                        tgt_view = result
+                    fw.charge_ops(worker, 1)
+                    temps.setdefault(d, []).append((dict(tgt_view.staged), worker))
+                    out.add(d)
+
+            updates: Dict[int, Dict[str, Any]] = {}
+            contributors: Dict[int, Set[int]] = {}
+            for d, temp_list in temps.items():
+                owner = self._owner(d)
+                acc = WorkingView(self, d)
+                for temp, part in temp_list:
+                    fw.charge_ops(owner, 1)
+                    temp_view = WorkingView(self, d, local=dict(temp))
+                    result = R(temp_view, acc)
+                    if isinstance(result, WorkingView):
+                        acc = result
+                if acc.staged:
+                    updates[d] = dict(acc.staged)
+                contributors[d] = {part for _, part in temp_list}
+        except Exception:
+            fw.abort_superstep()
+            raise
+        fw.barrier(
+            updates,
+            contributors,
+            broadcast_all=not edges.within_graph,
+            frontier_out=len(out),
+        )
+        return VertexSubset(self, sorted(out))
+
+    # ------------------------------------------------------------------
+    # Auxiliary operators
+    # ------------------------------------------------------------------
+    def dsu(self) -> DSU:
+        """A fresh disjoint-set over all vertices (the paper's pre-defined
+        ``dsu`` helper used by BCC and MSF)."""
+        return DSU(self.graph.num_vertices)
+
+    def collect(self, items_per_vertex: Dict[int, Sequence[Any]], label: str = "reduce") -> List[Any]:
+        """The paper's ``REDUCE`` auxiliary: gather worker-local results
+        into one global list (charged as one message per contributing
+        remote worker)."""
+        fw = self.flashware
+        rec = fw.begin_superstep("collect", label)
+        per_worker: Dict[int, int] = {}
+        gathered: List[Any] = []
+        for vid in sorted(items_per_vertex):
+            items = items_per_vertex[vid]
+            gathered.extend(items)
+            worker = self._owner(vid)
+            per_worker[worker] = per_worker.get(worker, 0) + len(items)
+        for worker, count in per_worker.items():
+            if worker != 0 and count:
+                rec.reduce_messages += 1
+                rec.reduce_values += count
+        fw.barrier({}, None)
+        return gathered
+
+    # ------------------------------------------------------------------
+    # Cost / metrics helpers
+    # ------------------------------------------------------------------
+    def cost(self, cluster: Optional[ClusterSpec] = None, model: Optional[CostModel] = None) -> CostBreakdown:
+        """Simulated cost of everything run so far on ``cluster`` (defaults
+        to one node per worker, 32 cores each)."""
+        if cluster is None:
+            cluster = ClusterSpec(nodes=self.num_workers, cores_per_node=32)
+        model = model or CostModel()
+        return model.estimate(self.metrics, cluster)
+
+    def reset_metrics(self) -> None:
+        self.flashware.metrics.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FlashEngine({self.graph!r}, workers={self.num_workers}, "
+            f"properties={self.flashware.state.property_names})"
+        )

@@ -1,0 +1,46 @@
+"""Small functional helpers from the paper's listings.
+
+* ``ctrue`` — the default condition function (always true), named
+  ``CTRUE`` in the paper;
+* ``bind`` — supplies trailing arguments to a user function so globals
+  (root ids, iteration counters, ...) can be used inside local functions
+  (§III-B: "To use a global variable such as r in a local function, we
+  provide a bind operator");
+* ``size`` — functional form of ``SIZE(U)``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.core.subset import VertexSubset
+
+
+def ctrue(*_args: Any) -> bool:
+    """The paper's ``CTRUE``: accepts anything, always returns True."""
+    return True
+
+
+#: Paper-style alias.
+CTRUE = ctrue
+
+
+def bind(fn: Callable, *bound: Any) -> Callable:
+    """Return ``fn`` with ``bound`` appended to every call's arguments.
+
+    ``INIT.bind(root)`` in the paper becomes ``bind(init, root)`` here:
+    the kernel calls the result with its usual vertex arguments and the
+    bound globals arrive after them.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any):
+        return fn(*args, *bound)
+
+    return wrapper
+
+
+def size(subset: VertexSubset) -> int:
+    """``SIZE(U)`` — the number of vertices in the subset."""
+    return subset.size()

@@ -1,0 +1,101 @@
+"""The ``vertexSubset`` type (paper §III-A, §III-C).
+
+A :class:`VertexSubset` is an immutable set of vertex ids tied to an
+engine.  It is the "global-perspective data structure supplementing the
+perspective of a single vertex": algorithms may hold many subsets at
+once, pass them through recursion (e.g. Brandes' BC), and combine them
+with the auxiliary set operators (``UNION``, ``MINUS``, ``INTERSECT``,
+``ADD``, ``CONTAIN`` — §III-A "the auxiliary operators").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class VertexSubset:
+    """An immutable subset of a graph's vertices."""
+
+    __slots__ = ("_engine", "_ids", "_sorted")
+
+    def __init__(self, engine, ids: Iterable[int]):
+        self._engine = engine
+        self._ids = frozenset(int(v) for v in ids)
+        n = engine.graph.num_vertices
+        for v in self._ids:
+            if not 0 <= v < n:
+                raise ValueError(f"vertex id {v} out of range (|V|={n})")
+        self._sorted: List[int] = sorted(self._ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self._engine
+
+    def size(self) -> int:
+        """The paper's ``SIZE(U)`` — a superstep-free global count."""
+        return len(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate ids in sorted order (deterministic execution)."""
+        return iter(self._sorted)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._ids
+
+    def ids(self) -> List[int]:
+        """Sorted list of member ids."""
+        return list(self._sorted)
+
+    # ------------------------------------------------------------------
+    # Auxiliary set operators
+    # ------------------------------------------------------------------
+    def _check_peer(self, other: "VertexSubset") -> None:
+        if not isinstance(other, VertexSubset):
+            raise TypeError(f"expected VertexSubset, got {type(other).__name__}")
+        if other._engine is not self._engine:
+            raise ValueError("cannot combine subsets from different engines")
+
+    def union(self, other: "VertexSubset") -> "VertexSubset":
+        self._check_peer(other)
+        return VertexSubset(self._engine, self._ids | other._ids)
+
+    def minus(self, other: "VertexSubset") -> "VertexSubset":
+        self._check_peer(other)
+        return VertexSubset(self._engine, self._ids - other._ids)
+
+    def intersect(self, other: "VertexSubset") -> "VertexSubset":
+        self._check_peer(other)
+        return VertexSubset(self._engine, self._ids & other._ids)
+
+    def add(self, vid: int) -> "VertexSubset":
+        """A new subset with ``vid`` added (subsets are immutable)."""
+        return VertexSubset(self._engine, self._ids | {int(vid)})
+
+    def contain(self, vid: int) -> bool:
+        """The paper's ``CONTAIN`` operator."""
+        return int(vid) in self._ids
+
+    # Operator sugar
+    __or__ = union
+    __sub__ = minus
+    __and__ = intersect
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexSubset):
+            return NotImplemented
+        return self._engine is other._engine and self._ids == other._ids
+
+    def __hash__(self) -> int:
+        return hash((id(self._engine), self._ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        preview = ", ".join(map(str, self._sorted[:8]))
+        suffix = ", ..." if len(self._sorted) > 8 else ""
+        return f"VertexSubset({{{preview}{suffix}}}, size={len(self._ids)})"

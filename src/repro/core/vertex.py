@@ -1,0 +1,126 @@
+"""Vertex handles passed to user functions.
+
+User functions in FLASH receive *vertex* arguments and read/write vertex
+properties through plain attribute access (``v.dis``, ``d.p = s.id``),
+exactly like the paper's pseudocode.  Three flavors exist:
+
+* :class:`VertexView` — read-only; given as the *source* argument of
+  ``F``/``M`` and as the argument of ``C`` (the model never lets an edge
+  function mutate its source);
+* :class:`WorkingView` — a mutable copy-on-write view over the current
+  snapshot; writes land in a local buffer that the engine stages into
+  FLASHWARE's next states at the barrier;
+* :class:`TracingView` — a working view that additionally records every
+  property get/put for the critical-property analysis (paper Table II).
+
+Besides declared properties, every view exposes the built-in read-only
+attributes ``id``, ``deg``, ``out_deg`` and ``in_deg`` that the paper's
+algorithms use freely (e.g. MIS's ``v.deg * |V| + v.id``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FlashUsageError
+
+#: Attribute names with built-in meaning; properties may not shadow them.
+RESERVED_ATTRIBUTES = frozenset({"id", "deg", "out_deg", "in_deg"})
+
+
+class VertexView:
+    """Read-only handle on the current (snapshot) state of a vertex."""
+
+    __slots__ = ("_engine", "_vid")
+
+    def __init__(self, engine, vid: int):
+        object.__setattr__(self, "_engine", engine)
+        object.__setattr__(self, "_vid", int(vid))
+
+    # -- built-ins ------------------------------------------------------
+    @property
+    def id(self) -> int:
+        return self._vid
+
+    @property
+    def deg(self) -> int:
+        return self._engine.graph.degree(self._vid)
+
+    @property
+    def out_deg(self) -> int:
+        return self._engine.graph.out_degree(self._vid)
+
+    @property
+    def in_deg(self) -> int:
+        return self._engine.graph.in_degree(self._vid)
+
+    # -- property access -------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._engine.flashware.state.get(self._vid, name)
+        except KeyError:
+            raise AttributeError(
+                f"vertex has no property {name!r}; declare it with "
+                f"engine.add_property({name!r}, ...)"
+            ) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise FlashUsageError(
+            f"cannot write {name!r} on a read-only vertex view: edge functions "
+            f"may only update the target vertex"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<vertex {self._vid}>"
+
+
+class WorkingView(VertexView):
+    """Mutable copy-on-write handle: reads fall through to the snapshot,
+    writes stay local until the engine commits them at the barrier."""
+
+    __slots__ = ("_local",)
+
+    def __init__(self, engine, vid: int, local: Optional[Dict[str, Any]] = None):
+        super().__init__(engine, vid)
+        object.__setattr__(self, "_local", local if local is not None else {})
+
+    def __getattr__(self, name: str) -> Any:
+        local = self._local
+        if name in local:
+            return local[name]
+        return super().__getattr__(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in RESERVED_ATTRIBUTES:
+            raise FlashUsageError(f"{name!r} is a built-in read-only attribute")
+        if not self._engine.flashware.state.has_property(name):
+            raise FlashUsageError(
+                f"unknown property {name!r}; declare it with "
+                f"engine.add_property({name!r}, ...) before use"
+            )
+        self._local[name] = value
+
+    @property
+    def staged(self) -> Dict[str, Any]:
+        """The locally written (uncommitted) property values."""
+        return self._local
+
+
+class TracingView(WorkingView):
+    """A working view that records (op, role, property) access events."""
+
+    __slots__ = ("_events", "_role")
+
+    def __init__(self, engine, vid: int, role: str, events: List[Tuple[str, str, str]]):
+        super().__init__(engine, vid)
+        object.__setattr__(self, "_role", role)
+        object.__setattr__(self, "_events", events)
+
+    def __getattr__(self, name: str) -> Any:
+        value = super().__getattr__(name)
+        self._events.append(("get", self._role, name))
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        super().__setattr__(name, value)
+        self._events.append(("put", self._role, name))

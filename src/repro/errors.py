@@ -1,0 +1,22 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class FlashUsageError(ReproError):
+    """The FLASH API was used in a way the model forbids (e.g. writing to a
+    read-only source vertex, or running EDGEMAPSPARSE without a reduce
+    function)."""
+
+
+class InexpressibleError(ReproError):
+    """Raised by baseline frameworks when an algorithm needs a capability
+    the framework's programming model does not offer (Table I's empty
+    circles) — e.g. variable-length vertex properties on Gemini, or
+    beyond-neighborhood communication on GAS."""
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning or ownership request."""

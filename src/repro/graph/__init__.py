@@ -1,0 +1,56 @@
+"""Graph substrate: property graphs, adjacency storage, generators, I/O,
+and edge-cut partitioning.
+
+This package provides everything FLASH (and the baseline frameworks) need
+from the data layer: a compact CSR-backed :class:`~repro.graph.graph.Graph`,
+deterministic synthetic dataset generators that mimic the paper's six
+real-world graphs, simple edge-list I/O, and the partitioner that assigns
+masters and mirrors to simulated workers.
+"""
+
+from repro.graph.csr import CSR
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    DATASETS,
+    bipartite_graph,
+    complete_graph,
+    load_dataset,
+    random_graph,
+    rmat_graph,
+    road_network,
+    social_network,
+    star_graph,
+    web_graph,
+)
+from repro.graph.io import (
+    read_adjacency_list,
+    read_edge_list,
+    read_metis,
+    write_adjacency_list,
+    write_edge_list,
+    write_metis,
+)
+from repro.graph.partition import PartitionMap, partition_graph
+
+__all__ = [
+    "CSR",
+    "Graph",
+    "DATASETS",
+    "load_dataset",
+    "random_graph",
+    "rmat_graph",
+    "bipartite_graph",
+    "complete_graph",
+    "star_graph",
+    "road_network",
+    "social_network",
+    "web_graph",
+    "read_adjacency_list",
+    "read_edge_list",
+    "read_metis",
+    "write_adjacency_list",
+    "write_edge_list",
+    "write_metis",
+    "PartitionMap",
+    "partition_graph",
+]

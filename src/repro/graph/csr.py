@@ -1,0 +1,113 @@
+"""Compressed-sparse-row adjacency storage.
+
+A :class:`CSR` stores, for every vertex, a contiguous slice of neighbor
+ids (and the positions of the arcs it came from, so that per-arc data such
+as weights can be looked up).  Both the FLASH engine and the baseline
+frameworks are built on top of this structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+class CSR:
+    """Compressed sparse row adjacency.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbors of vertex ``v``
+        live at ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of neighbor ids, length equal to the number of arcs.
+    arc_ids:
+        ``int64`` array parallel to ``indices`` giving the index of the
+        originating arc in the arc list the CSR was built from.  Used to
+        look up per-arc attributes (e.g. weights).
+    """
+
+    __slots__ = ("indptr", "indices", "arc_ids")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, arc_ids: np.ndarray):
+        self.indptr = indptr
+        self.indices = indices
+        self.arc_ids = arc_ids
+
+    @classmethod
+    def from_arcs(cls, num_vertices: int, sources: Sequence[int], targets: Sequence[int]) -> "CSR":
+        """Build a CSR from parallel source/target arrays.
+
+        Arc ``i`` is ``sources[i] -> targets[i]``; neighbor lists are sorted
+        by target id for deterministic iteration and fast set intersection.
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("sources and targets must have the same length")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("source vertex id out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("target vertex id out of range")
+
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+
+        # Stable sort by (source, target) so every adjacency slice is sorted.
+        order = np.lexsort((dst, src))
+        indices = dst[order]
+        arc_ids = np.asarray(order, dtype=np.int64)
+        return cls(indptr, indices, arc_ids)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.indices)
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex as an ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_arcs(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbor_ids, arc_ids)`` for vertex ``v`` (views)."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.arc_ids[lo:hi]
+
+    def has_arc(self, s: int, d: int) -> bool:
+        """True when the arc ``s -> d`` is present (binary search)."""
+        nbrs = self.neighbors(s)
+        pos = int(np.searchsorted(nbrs, d))
+        return pos < len(nbrs) and nbrs[pos] == d
+
+    def iter_arcs(self) -> Iterator[Tuple[int, int]]:
+        """Yield every arc as ``(source, target)`` in CSR order."""
+        for v in range(self.num_vertices):
+            for d in self.neighbors(v):
+                yield v, int(d)
+
+    def reversed(self) -> "CSR":
+        """The transpose adjacency (arc ids preserved)."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
+        rev = CSR.from_arcs(n, self.indices, src)
+        # ``from_arcs`` numbers arcs by position in the input; map back to
+        # the original arc ids so weight lookups still work.
+        rev.arc_ids = self.arc_ids[rev.arc_ids]
+        return rev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CSR(num_vertices={self.num_vertices}, num_arcs={self.num_arcs})"

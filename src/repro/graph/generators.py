@@ -1,0 +1,310 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on six real-world graphs (Table III): two social
+networks (soc-orkut, soc-twitter), two road networks (road-USA,
+europe-osm) and two web graphs (uk-2002, sk-2005).  Those datasets are
+billions of edges and are not available offline, so we generate
+scaled-down analogues that preserve the *structural traits the paper's
+results depend on*:
+
+* social networks — heavily skewed (power-law) degrees, tiny diameter;
+* road networks — nearly uniform low degree, enormous diameter;
+* web graphs — power-law degrees with local clustering, mid diameter.
+
+Every generator is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+EdgeList = List[Tuple[int, int]]
+
+
+def _dedupe(edges: EdgeList) -> EdgeList:
+    """Drop duplicate undirected edges and self loops, keeping order."""
+    seen = set()
+    out = []
+    for s, d in edges:
+        if s == d:
+            continue
+        key = (min(s, d), max(s, d))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((s, d))
+    return out
+
+
+def social_network(num_vertices: int, avg_degree: int = 16, seed: int = 0) -> Graph:
+    """A preferential-attachment graph mimicking soc-orkut / soc-twitter.
+
+    New vertices attach ``avg_degree // 2`` edges to existing vertices
+    chosen proportionally to degree, producing a skewed degree
+    distribution with a few "hot" vertices and a small diameter
+    (paper §V-A's characterisation of social networks).
+    """
+    if num_vertices < 2:
+        raise ValueError("social_network needs at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    m = max(1, avg_degree // 2)
+    edges: EdgeList = []
+    # Repeated-endpoint list implements preferential attachment cheaply.
+    targets: List[int] = [0]
+    for v in range(1, num_vertices):
+        k = min(m, v)
+        picks = set()
+        while len(picks) < k:
+            picks.add(int(targets[rng.integers(0, len(targets))]))
+        for t in picks:
+            edges.append((v, t))
+            targets.append(t)
+        targets.extend([v] * k)
+    return Graph.from_edges(_dedupe(edges), directed=False, num_vertices=num_vertices)
+
+
+def road_network(width: int, height: int, seed: int = 0, drop_fraction: float = 0.05) -> Graph:
+    """A perturbed grid mimicking road-USA / europe-osm.
+
+    Vertices form a ``width x height`` lattice with 4-neighbor links;
+    ``drop_fraction`` of the edges are removed at random (keeping the
+    giant component overwhelmingly dominant), giving degree ≈ 4 and a
+    diameter on the order of ``width + height``.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("road_network needs a grid of at least 2x2")
+    rng = np.random.default_rng(seed)
+    num_vertices = width * height
+
+    def vid(x: int, y: int) -> int:
+        return y * width + x
+
+    edges: EdgeList = []
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                edges.append((vid(x, y), vid(x + 1, y)))
+            if y + 1 < height:
+                edges.append((vid(x, y), vid(x, y + 1)))
+    keep = rng.random(len(edges)) >= drop_fraction
+    kept = [e for e, k in zip(edges, keep) if k]
+    return Graph.from_edges(kept, directed=False, num_vertices=num_vertices)
+
+
+def web_graph(num_vertices: int, out_degree: int = 8, copy_prob: float = 0.6, seed: int = 0) -> Graph:
+    """A copying-model graph mimicking uk-2002 / sk-2005.
+
+    Each new page links to ``out_degree`` targets; with probability
+    ``copy_prob`` a link is copied from a random earlier page's links
+    (creating hubs and clustering), otherwise it points to a uniformly
+    random earlier page.  Degree skew is power-law-ish; the diameter sits
+    between the social and road regimes.
+    """
+    if num_vertices < 2:
+        raise ValueError("web_graph needs at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    adj: List[List[int]] = [[] for _ in range(num_vertices)]
+    edges: EdgeList = []
+    for v in range(1, num_vertices):
+        k = min(out_degree, v)
+        chosen = set()
+        for _ in range(k):
+            proto = int(rng.integers(0, v))
+            if adj[proto] and rng.random() < copy_prob:
+                t = int(adj[proto][rng.integers(0, len(adj[proto]))])
+            else:
+                t = proto
+            chosen.add(t)
+        for t in chosen:
+            if t != v:
+                edges.append((v, t))
+                adj[v].append(t)
+    return Graph.from_edges(_dedupe(edges), directed=False, num_vertices=num_vertices)
+
+
+def random_graph(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """A uniform (Erdős–Rényi style) random graph, mainly for tests."""
+    rng = np.random.default_rng(seed)
+    edges: EdgeList = []
+    seen = set()
+    attempts = 0
+    max_possible = num_vertices * (num_vertices - 1) // 2
+    target = min(num_edges, max_possible)
+    while len(edges) < target and attempts < 50 * num_edges + 100:
+        attempts += 1
+        s = int(rng.integers(0, num_vertices))
+        d = int(rng.integers(0, num_vertices))
+        if s == d:
+            continue
+        key = (min(s, d), max(s, d))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((s, d))
+    return Graph.from_edges(edges, directed=False, num_vertices=num_vertices)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for a named scaled-down analogue of a paper dataset."""
+
+    name: str
+    paper_name: str
+    domain: str  # "SN" | "RN" | "WG"
+    factory: Callable[[float, int], Graph]
+    description: str
+
+
+def _or_factory(scale: float, seed: int) -> Graph:
+    return social_network(max(64, int(1500 * scale)), avg_degree=24, seed=seed)
+
+
+def _tw_factory(scale: float, seed: int) -> Graph:
+    return social_network(max(64, int(5000 * scale)), avg_degree=20, seed=seed + 1)
+
+
+def _us_factory(scale: float, seed: int) -> Graph:
+    side = max(8, int(55 * np.sqrt(scale)))
+    return road_network(side, side, seed=seed + 2)
+
+
+def _eu_factory(scale: float, seed: int) -> Graph:
+    side = max(8, int(80 * np.sqrt(scale)))
+    return road_network(side, side, seed=seed + 3)
+
+
+def _uk_factory(scale: float, seed: int) -> Graph:
+    return web_graph(max(64, int(2500 * scale)), out_degree=10, seed=seed + 4)
+
+
+def _sk_factory(scale: float, seed: int) -> Graph:
+    return web_graph(max(64, int(6000 * scale)), out_degree=12, seed=seed + 5)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "OR": DatasetSpec("OR", "soc-orkut", "SN", _or_factory, "social network, skewed degrees, tiny diameter"),
+    "TW": DatasetSpec("TW", "soc-twitter", "SN", _tw_factory, "larger social network"),
+    "US": DatasetSpec("US", "road-USA", "RN", _us_factory, "road grid, degree ~4, huge diameter"),
+    "EU": DatasetSpec("EU", "europe-osm", "RN", _eu_factory, "larger road grid"),
+    "UK": DatasetSpec("UK", "uk-2002", "WG", _uk_factory, "web graph, hubs + clustering"),
+    "SK": DatasetSpec("SK", "sk-2005", "WG", _sk_factory, "larger web graph"),
+}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 7, directed: bool = False) -> Graph:
+    """Build the scaled-down analogue of a paper dataset by abbreviation.
+
+    Parameters
+    ----------
+    name:
+        One of ``OR, TW, US, EU, UK, SK`` (Table III abbreviations).
+    scale:
+        Relative size multiplier; 1.0 is the default benchmark size.
+    seed:
+        Generator seed (datasets are pure functions of ``(scale, seed)``).
+    directed:
+        When True, orient each undirected edge at random and add a
+        reciprocal arc for 30% of them — the directed variant used by SCC.
+    """
+    try:
+        spec = DATASETS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+    g = spec.factory(scale, seed)
+    if not directed:
+        return g
+    rng = np.random.default_rng(seed + 1000)
+    arcs: EdgeList = []
+    for s, d in g.edges():
+        if rng.random() < 0.5:
+            s, d = d, s
+        arcs.append((s, d))
+        if rng.random() < 0.3:
+            arcs.append((d, s))
+    return Graph.from_edges(arcs, directed=True, num_vertices=g.num_vertices)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> Graph:
+    """An R-MAT (Kronecker) graph — the Graph500-style generator widely
+    used by graph-processing benchmarks.
+
+    ``2**scale`` vertices and about ``edge_factor * 2**scale`` undirected
+    edges, recursively placed into quadrants with probabilities
+    ``(a, b, c, 1-a-b-c)``.  Duplicates and self-loops are dropped, so the
+    final count is slightly below the nominal one.
+    """
+    if scale < 1 or scale > 24:
+        raise ValueError("scale must be in [1, 24]")
+    if min(a, b, c) < 0 or a + b + c >= 1:
+        raise ValueError("quadrant probabilities must be non-negative and sum below 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    target = edge_factor * n
+    edges: EdgeList = []
+    for _ in range(target):
+        s = d = 0
+        for _ in range(scale):
+            r = rng.random()
+            s <<= 1
+            d <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                d |= 1
+            elif r < a + b + c:
+                s |= 1
+            else:
+                s |= 1
+                d |= 1
+        edges.append((s, d))
+    return Graph.from_edges(_dedupe(edges), directed=False, num_vertices=n)
+
+
+def bipartite_graph(
+    left: int,
+    right: int,
+    avg_degree: int = 4,
+    seed: int = 0,
+) -> Graph:
+    """A random bipartite graph: ``left`` vertices (ids 0..left-1) each
+    linking to ~``avg_degree`` uniformly random right-side vertices
+    (ids left..left+right-1)."""
+    if left < 1 or right < 1:
+        raise ValueError("both sides need at least one vertex")
+    rng = np.random.default_rng(seed)
+    edges: EdgeList = []
+    for u in range(left):
+        k = min(avg_degree, right)
+        targets = rng.choice(right, size=k, replace=False)
+        edges.extend((u, left + int(t)) for t in targets)
+    return Graph.from_edges(_dedupe(edges), directed=False, num_vertices=left + right)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return Graph.from_edges(
+        [(a, b) for a in range(n) for b in range(a + 1, n)],
+        directed=False,
+        num_vertices=n,
+    )
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: hub 0 with ``leaves`` spokes."""
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    return Graph.from_edges([(0, i) for i in range(1, leaves + 1)])

@@ -1,0 +1,126 @@
+"""Edge-list I/O.
+
+The paper's datasets ship as whitespace-separated edge lists; we support
+the same format (with optional weights and ``#`` comments) so users can
+load their own graphs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, directed: bool = False, weighted: bool = False) -> Graph:
+    """Read a graph from a whitespace-separated edge-list file.
+
+    Lines are ``src dst`` or ``src dst weight``; blank lines and lines
+    starting with ``#`` or ``%`` are skipped.
+    """
+    edges: List[Tuple[int, int]] = []
+    weights: Optional[List[float]] = [] if weighted else None
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected at least 2 fields, got {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+            if weights is not None:
+                weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    return Graph.from_edges(edges, directed=directed, weights=weights)
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a graph as a whitespace-separated edge list (with weights when
+    the graph is weighted)."""
+    with open(path, "w") as f:
+        f.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges} directed={graph.directed}\n")
+        if graph.weighted:
+            for s, d, w in graph.weighted_edges():
+                f.write(f"{s} {d} {w}\n")
+        else:
+            for s, d in graph.edges():
+                f.write(f"{s} {d}\n")
+
+
+def read_adjacency_list(path: PathLike, directed: bool = False) -> Graph:
+    """Read a graph from an adjacency-list file.
+
+    Each non-comment line is ``vertex nbr1 nbr2 ...``; vertices with no
+    neighbors may appear alone on a line.  For undirected graphs each
+    edge may appear on either (or both) endpoint's line — duplicates are
+    collapsed.
+    """
+    edges: List[Tuple[int, int]] = []
+    seen = set()
+    max_vid = -1
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            fields = [int(x) for x in line.split()]
+            v = fields[0]
+            max_vid = max(max_vid, v, *fields[1:]) if len(fields) > 1 else max(max_vid, v)
+            for u in fields[1:]:
+                key = (v, u) if directed else (min(v, u), max(v, u))
+                if key in seen:
+                    continue
+                seen.add(key)
+                edges.append((v, u))
+    return Graph.from_edges(edges, directed=directed, num_vertices=max_vid + 1)
+
+
+def write_adjacency_list(graph: Graph, path: PathLike) -> None:
+    """Write a graph as an adjacency-list file (out-neighbors per line;
+    undirected edges emitted from the smaller endpoint only)."""
+    with open(path, "w") as f:
+        f.write(f"# |V|={graph.num_vertices} directed={graph.directed}\n")
+        for v in graph.vertices():
+            if graph.directed:
+                nbrs = [int(u) for u in graph.out_neighbors(v)]
+            else:
+                nbrs = [int(u) for u in graph.out_neighbors(v) if int(u) >= v]
+            f.write(" ".join(str(x) for x in [v] + nbrs) + "\n")
+
+
+def read_metis(path: PathLike) -> Graph:
+    """Read a graph in (unweighted) METIS format: a header line
+    ``num_vertices num_edges`` followed by one line of 1-based neighbor
+    ids per vertex."""
+    with open(path) as f:
+        lines = [ln.strip() for ln in f if ln.strip() and not ln.startswith("%")]
+    if not lines:
+        raise ValueError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    n, m = int(header[0]), int(header[1])
+    if len(lines) - 1 != n:
+        raise ValueError(f"{path}: expected {n} adjacency lines, found {len(lines) - 1}")
+    edges: List[Tuple[int, int]] = []
+    for v, line in enumerate(lines[1:]):
+        for token in line.split():
+            u = int(token) - 1  # METIS ids are 1-based
+            if not 0 <= u < n:
+                raise ValueError(f"{path}: neighbor id {token} out of range")
+            if v < u:
+                edges.append((v, u))
+    if len(edges) != m:
+        raise ValueError(f"{path}: header claims {m} edges, found {len(edges)}")
+    return Graph(n, edges, directed=False)
+
+
+def write_metis(graph: Graph, path: PathLike) -> None:
+    """Write an undirected graph in METIS format."""
+    if graph.directed:
+        raise ValueError("METIS format describes undirected graphs")
+    with open(path, "w") as f:
+        f.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in graph.vertices():
+            f.write(" ".join(str(int(u) + 1) for u in graph.out_neighbors(v)) + "\n")

@@ -1,0 +1,34 @@
+"""FLASHWARE — the simulated distributed middleware (paper §IV).
+
+The real system runs one MPI process per cluster node; we simulate the
+same topology inside a single Python process.  The pieces:
+
+* :class:`~repro.runtime.cluster.ClusterSpec` — nodes × cores topology;
+* :class:`~repro.runtime.state.VertexState` — current/next property
+  columns with copy-on-write next-state buffers (§IV-A "data layout");
+* :class:`~repro.runtime.flashware.Flashware` — ``get`` / ``put`` /
+  ``barrier`` plus mirror synchronization and the runtime optimizations
+  (critical-property-only sync, necessary-mirror-only communication);
+* :class:`~repro.runtime.metrics.Metrics` — per-superstep accounting of
+  compute work and message traffic;
+* :class:`~repro.runtime.costmodel.CostModel` — converts metrics into
+  simulated wall-clock seconds for a given cluster, reproducing the
+  paper's scaling behaviour without the physical testbed.
+"""
+
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.costmodel import CostBreakdown, CostModel
+from repro.runtime.flashware import Flashware, FlashwareOptions
+from repro.runtime.metrics import Metrics, SuperstepRecord
+from repro.runtime.state import VertexState
+
+__all__ = [
+    "ClusterSpec",
+    "CostBreakdown",
+    "CostModel",
+    "Flashware",
+    "FlashwareOptions",
+    "Metrics",
+    "SuperstepRecord",
+    "VertexState",
+]

@@ -1,0 +1,285 @@
+"""FLASHWARE — the middleware between the FLASH primitives and the
+(simulated) distributed runtime (paper §IV-A).
+
+Responsibilities reproduced here:
+
+* **current/next state separation** — user functions read the consistent
+  current snapshot; writes are staged and committed at ``barrier()``;
+* **master/mirror synchronization accounting** — each committed change to
+  a master is charged as messages to its mirrors (the master→mirror
+  *sync* round), and each remote contribution in push mode is charged as
+  a mirror→master *reduce* round (two rounds total, as §IV-A describes
+  for EDGEMAPSPARSE);
+* **critical-property-only sync** (§IV-C + Table II) — only properties
+  marked *critical* by the code-generator analysis are broadcast to
+  mirrors;
+* **necessary-mirror-only communication** (§IV-C) — syncs go only to
+  partitions holding a neighbor, unless the superstep used virtual edges
+  (then the master must broadcast to all partitions).
+
+Because the whole cluster is simulated in-process, property storage is
+physically global; distribution is *accounted*, which is all the paper's
+measurements observe (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.graph.partition import PartitionMap, partition_graph
+from repro.runtime.metrics import Metrics, SuperstepRecord
+from repro.runtime.state import VertexState
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Value equality that tolerates un-comparable objects (treated as
+    changed)."""
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def payload_size(value: Any) -> int:
+    """Network payload of one property value, in scalar units.
+    Collection-valued properties (neighbor lists, histograms) ship their
+    whole contents — the dominant traffic of TC/RC/CL-style programs."""
+    if isinstance(value, (set, frozenset, list, tuple, dict)):
+        return max(len(value), 1)
+    return 1
+
+
+@dataclass(frozen=True)
+class FlashwareOptions:
+    """Runtime-optimization switches (§IV-C).  Both default to on, as in
+    the paper; benchmarks toggle them for the ablation study."""
+
+    sync_critical_only: bool = True
+    necessary_mirrors_only: bool = True
+
+
+class Flashware:
+    """The middleware instance backing one FLASH (or baseline) program."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        options: Optional[FlashwareOptions] = None,
+        partition_strategy: str = "hash",
+        partition: Optional[PartitionMap] = None,
+    ):
+        self.graph = graph
+        self.options = options or FlashwareOptions()
+        if partition is not None:
+            if partition.graph is not graph:
+                raise ValueError("partition map belongs to a different graph")
+            self.partition = partition
+        else:
+            self.partition = partition_graph(graph, num_workers, partition_strategy)
+        self.metrics = Metrics(self.partition.num_partitions)
+        self.state = VertexState(graph.num_vertices)
+        self._critical: Set[str] = set()
+        self._analyzed: Set[str] = set()
+        self._current: Optional[SuperstepRecord] = None
+        # Vertices whose value of a (so far) non-critical property changed
+        # without being synced — the debt paid if the property is later
+        # promoted to critical.
+        self._unsynced: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Paper API: get / put / barrier  (put+barrier are orchestrated by the
+    # engine through begin_superstep/commit, which subsume them)
+    # ------------------------------------------------------------------
+    def get(self, vid: int) -> Dict[str, Any]:
+        """Read the consistent current states of any vertex (master or
+        mirror) — safe from every worker, no message charged (§IV-A)."""
+        return self.state.row(vid)
+
+    # ------------------------------------------------------------------
+    # Superstep lifecycle
+    # ------------------------------------------------------------------
+    def begin_superstep(self, kind: str, label: str = "", frontier_in: int = 0) -> SuperstepRecord:
+        if self._current is not None:
+            raise RuntimeError("previous superstep not closed with barrier()")
+        rec = self.metrics.new_record(kind, label)
+        rec.frontier_in = frontier_in
+        self._current = rec
+        return rec
+
+    def charge_ops(self, worker: int, n: int = 1) -> None:
+        """Charge ``n`` user-function evaluations to ``worker``."""
+        self._current.worker_ops[worker] += n
+
+    def barrier(
+        self,
+        updates: Dict[int, Dict[str, Any]],
+        contributors: Optional[Dict[int, Set[int]]] = None,
+        broadcast_all: bool = False,
+        frontier_out: int = 0,
+    ) -> Set[int]:
+        """Commit staged updates, ending the current superstep.
+
+        Parameters
+        ----------
+        updates:
+            Final next-state values per vertex (already reduced by the
+            engine when in push mode): ``{vid: {prop: value}}``.
+        contributors:
+            For push-mode supersteps, the partitions that produced temp
+            values per vertex; remote ones are charged as the
+            mirror→master reduce round (one message per remote partition,
+            thanks to mirror-side pre-aggregation).
+        broadcast_all:
+            True when the superstep used virtual edges outside ``E`` —
+            the master must then sync to mirrors in *all* partitions
+            (§IV-C last paragraph).
+        frontier_out:
+            Size of the resulting vertex subset (metrics only).
+
+        Returns
+        -------
+        The set of vertex ids whose state actually changed.
+        """
+        rec = self._current
+        if rec is None:
+            raise RuntimeError("barrier() called outside a superstep")
+        changed_vids: Set[int] = set()
+        contributors = contributors or {}
+
+        for vid, props in updates.items():
+            changed = {
+                name: value
+                for name, value in props.items()
+                if not values_equal(self.state.get(vid, name), value)
+            }
+            owner = self.partition.owner_of(vid)
+
+            remote_sources = {p for p in contributors.get(vid, ()) if p != owner}
+            if remote_sources:
+                rec.reduce_messages += len(remote_sources)
+                size = sum(payload_size(v) for v in props.values()) or 1
+                rec.reduce_values += len(remote_sources) * size
+
+            if not changed:
+                continue
+            changed_vids.add(vid)
+            for name, value in changed.items():
+                self.state.set(vid, name, value)
+
+            sync_props = [
+                name
+                for name in changed
+                if not self.options.sync_critical_only or name in self._critical
+            ]
+            if self.options.sync_critical_only:
+                for name in changed:
+                    if name not in self._critical:
+                        self._unsynced.setdefault(name, set()).add(vid)
+            if not sync_props:
+                continue
+            if broadcast_all or not self.options.necessary_mirrors_only:
+                mirrors = self.partition.all_mirrors(vid)
+            else:
+                mirrors = self.partition.neighbor_mirrors(vid)
+            if mirrors:
+                rec.sync_messages += len(mirrors)
+                size = sum(payload_size(changed[name]) for name in sync_props)
+                rec.sync_values += len(mirrors) * size
+
+        rec.frontier_out = frontier_out
+        self._current = None
+        return changed_vids
+
+    def abort_superstep(self) -> None:
+        """Close the current superstep without committing (used when a
+        kernel raises)."""
+        self._current = None
+
+    # ------------------------------------------------------------------
+    # Critical-property analysis hooks (paper Table II)
+    # ------------------------------------------------------------------
+    @property
+    def critical_properties(self) -> Set[str]:
+        return set(self._critical)
+
+    def is_critical(self, name: str) -> bool:
+        return name in self._critical
+
+    def mark_critical(self, names: Iterable[str]) -> None:
+        """Mark properties critical (they will be broadcast to mirrors).
+
+        When a property is *promoted* to critical after earlier supersteps
+        already changed it without syncing, the sync debt is paid now: one
+        catch-up broadcast per changed-but-unsynced vertex.  This charges
+        exactly what the paper's ahead-of-time code generator would have
+        paid by syncing those same changes as they happened.
+        """
+        for name in names:
+            if name in self._critical:
+                continue
+            if not self.state.has_property(name):
+                raise KeyError(f"unknown property {name!r}")
+            self._critical.add(name)
+            debt = self._unsynced.pop(name, None)
+            if debt and self.options.sync_critical_only and self._current is not None:
+                rec = self._current
+                for vid in debt:
+                    mirrors = self.partition.neighbor_mirrors(vid)
+                    if mirrors:
+                        rec.sync_messages += len(mirrors)
+                        rec.sync_values += len(mirrors) * payload_size(
+                            self.state.get(vid, name)
+                        )
+
+    def note_analyzed(self, names: Iterable[str]) -> None:
+        """Record that the analysis has seen these properties (without
+        deciding they are critical)."""
+        self._analyzed.update(names)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (failure recovery)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the committed vertex state (plus the analysis sets),
+        as a consistent cut at a superstep boundary — what a real BSP
+        runtime writes for failure recovery."""
+        if self._current is not None:
+            raise RuntimeError("checkpoint only at a superstep boundary")
+        import copy
+
+        return {
+            "columns": {
+                name: copy.deepcopy(self.state.column(name))
+                for name in self.state.property_names
+            },
+            "critical": set(self._critical),
+            "analyzed": set(self._analyzed),
+            "unsynced": {k: set(v) for k, v in self._unsynced.items()},
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Roll the committed state back to a checkpoint (properties
+        created after the checkpoint are left untouched)."""
+        if self._current is not None:
+            raise RuntimeError("restore only at a superstep boundary")
+        import copy
+
+        for name, column in snapshot["columns"].items():
+            if not self.state.has_property(name):
+                continue
+            live = self.state.column(name)
+            restored = copy.deepcopy(column)
+            for vid in range(len(live)):
+                live[vid] = restored[vid]
+        self._critical = set(snapshot["critical"])
+        self._analyzed = set(snapshot["analyzed"])
+        self._unsynced = {k: set(v) for k, v in snapshot["unsynced"].items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Flashware(workers={self.partition.num_partitions}, "
+            f"critical={sorted(self._critical)}, options={self.options})"
+        )

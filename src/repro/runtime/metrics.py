@@ -1,0 +1,131 @@
+"""Per-superstep accounting of compute and communication.
+
+Every framework in this repository (FLASH and the four baselines) runs on
+the same accounting substrate so their costs are comparable.  A
+:class:`SuperstepRecord` is appended per BSP superstep; the cost model
+turns the records into simulated seconds.
+
+Quantities tracked per superstep:
+
+* ``worker_ops`` — user-function evaluations (F/M/C/R or compute()/
+  gather()/apply()/scatter()) charged to the worker that executes them;
+  the cost model takes the max over workers (BSP waits for the slowest).
+* ``messages`` / ``values`` — inter-worker messages and the property
+  values they carry, split into the two rounds of §IV-A: mirror→master
+  *reduce* traffic and master→mirror *sync* traffic.
+* ``frontier`` sizes for Fig. 4(a)-style traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SuperstepRecord:
+    """Accounting for one BSP superstep."""
+
+    index: int
+    kind: str  # "vertex_map" | "edge_map_dense" | "edge_map_sparse" | framework-specific
+    label: str = ""
+    worker_ops: List[int] = field(default_factory=list)
+    reduce_messages: int = 0  # mirror -> master round
+    reduce_values: int = 0
+    sync_messages: int = 0  # master -> mirror round
+    sync_values: int = 0
+    frontier_in: int = 0
+    frontier_out: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.worker_ops)
+
+    @property
+    def max_worker_ops(self) -> int:
+        return max(self.worker_ops) if self.worker_ops else 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.reduce_messages + self.sync_messages
+
+    @property
+    def total_values(self) -> int:
+        return self.reduce_values + self.sync_values
+
+
+class Metrics:
+    """A mutable log of superstep records plus convenience totals."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.records: List[SuperstepRecord] = []
+        self.mode_choices: Dict[str, int] = {}  # dense/sparse decisions of EDGEMAP
+
+    # ------------------------------------------------------------------
+    def new_record(self, kind: str, label: str = "") -> SuperstepRecord:
+        rec = SuperstepRecord(
+            index=len(self.records),
+            kind=kind,
+            label=label,
+            worker_ops=[0] * self.num_workers,
+        )
+        self.records.append(rec)
+        return rec
+
+    def note_mode(self, mode: str) -> None:
+        """Record an EDGEMAP dense/sparse auto-switch decision."""
+        self.mode_choices[mode] = self.mode_choices.get(mode, 0) + 1
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.mode_choices.clear()
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(r.total_ops for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.total_messages for r in self.records)
+
+    @property
+    def total_values(self) -> int:
+        return sum(r.total_values for r in self.records)
+
+    @property
+    def total_sync_values(self) -> int:
+        return sum(r.sync_values for r in self.records)
+
+    @property
+    def total_reduce_values(self) -> int:
+        return sum(r.reduce_values for r in self.records)
+
+    def frontier_trace(self, kind: Optional[str] = None) -> List[int]:
+        """Input frontier sizes per superstep (optionally one kind only)."""
+        return [r.frontier_in for r in self.records if kind is None or r.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        """A dict of headline totals (handy for asserts and reports)."""
+        return {
+            "supersteps": self.num_supersteps,
+            "ops": self.total_ops,
+            "messages": self.total_messages,
+            "values": self.total_values,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        s = self.summary()
+        return (
+            f"Metrics(workers={self.num_workers}, supersteps={s['supersteps']}, "
+            f"ops={s['ops']}, messages={s['messages']}, values={s['values']})"
+        )

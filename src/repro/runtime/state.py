@@ -1,0 +1,106 @@
+"""Vertex property storage with BSP current/next separation.
+
+Per the paper (§IV-A): FLASHWARE distinguishes the *current* states —
+consistent on every worker that accesses a vertex in the current
+superstep — from the *next* states, written during the superstep and made
+visible only at the barrier.  :class:`VertexState` stores the current
+columns; the next-state buffers live in
+:class:`~repro.runtime.flashware.Flashware`, which commits them at
+``barrier()``.
+
+Properties may hold arbitrary Python values, including variable-length
+collections (sets, lists) — the capability Gemini lacks and that the
+paper leans on for TC/GC/LPA (§V, Appendix B).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional
+
+
+def _default_copier(default: Any) -> Callable[[], Any]:
+    """Return a factory producing per-vertex initial values.
+
+    Mutable defaults (set/list/dict) are copied per vertex so vertices do
+    not share storage; immutable values are reused as-is.
+    """
+    if isinstance(default, (set, list, dict, bytearray)):
+        return lambda: copy.copy(default)
+    return lambda: default
+
+
+class VertexState:
+    """Columnar storage of current vertex property values."""
+
+    def __init__(self, num_vertices: int):
+        self._n = num_vertices
+        self._columns: Dict[str, List[Any]] = {}
+        self._factories: Dict[str, Callable[[], Any]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def property_names(self) -> List[str]:
+        return list(self._columns)
+
+    def has_property(self, name: str) -> bool:
+        return name in self._columns
+
+    def add_property(
+        self,
+        name: str,
+        default: Any = None,
+        factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Declare a vertex property.
+
+        Parameters
+        ----------
+        name:
+            Property name (attribute name on vertex views).
+        default:
+            Initial value for every vertex; mutable defaults are copied
+            per vertex.
+        factory:
+            Alternative to ``default``: a zero-argument callable invoked
+            once per vertex (overrides ``default``).
+        """
+        if name in self._columns:
+            raise ValueError(f"property {name!r} already exists")
+        if not name.isidentifier() or name.startswith("_"):
+            raise ValueError(f"property name {name!r} must be a public identifier")
+        make = factory if factory is not None else _default_copier(default)
+        self._factories[name] = make
+        self._columns[name] = [make() for _ in range(self._n)]
+
+    def remove_property(self, name: str) -> None:
+        self._columns.pop(name)
+        self._factories.pop(name)
+
+    def reset_property(self, name: str) -> None:
+        """Reinitialize a property column to its default values."""
+        make = self._factories[name]
+        self._columns[name] = [make() for _ in range(self._n)]
+
+    # ------------------------------------------------------------------
+    def get(self, vid: int, name: str) -> Any:
+        return self._columns[name][vid]
+
+    def set(self, vid: int, name: str, value: Any) -> None:
+        self._columns[name][vid] = value
+
+    def row(self, vid: int) -> Dict[str, Any]:
+        """All current property values of one vertex as a dict copy."""
+        return {name: col[vid] for name, col in self._columns.items()}
+
+    def column(self, name: str) -> List[Any]:
+        """The live column list for ``name`` (mutating it bypasses BSP —
+        reserved for result extraction and tests)."""
+        return self._columns[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VertexState(n={self._n}, properties={sorted(self._columns)})"

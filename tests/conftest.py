@@ -1,0 +1,44 @@
+"""Shared fixtures and oracle helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro import Graph, random_graph, road_network, social_network, web_graph
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """0-1-2-3-4 path."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles sharing vertex 2, plus a pendant at 4."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)])
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A 40-vertex random graph used by the oracle comparisons."""
+    return random_graph(40, 120, seed=3)
+
+
+@pytest.fixture
+def directed_graph() -> Graph:
+    """Small digraph with three SCCs: {0,1,2}, {3,4}, {5}."""
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
+        directed=True,
+        num_vertices=6,
+    )
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two components plus an isolated vertex."""
+    return Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6)

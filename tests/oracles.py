@@ -1,0 +1,76 @@
+"""Oracle helpers shared by the test modules (networkx and
+brute-force reference implementations)."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro import Graph
+
+
+def to_networkx(graph: Graph):
+    """Oracle view of a repro Graph."""
+    nxg = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    if graph.weighted:
+        nxg.add_weighted_edges_from(graph.weighted_edges())
+    else:
+        nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def cc_labels(graph: Graph) -> dict:
+    """Min-id connected-component label per vertex."""
+    nxg = to_networkx(graph)
+    return {v: min(c) for c in nx.connected_components(nxg) for v in c}
+
+
+def brute_force_rectangles(graph: Graph) -> int:
+    """Count 4-cycles by exhaustive enumeration (small graphs only)."""
+    nxg = to_networkx(graph)
+    count = 0
+    for a, b, c, d in itertools.combinations(nxg.nodes(), 4):
+        for order in ((a, b, c, d), (a, b, d, c), (a, c, b, d)):
+            if all(nxg.has_edge(order[i], order[(i + 1) % 4]) for i in range(4)):
+                count += 1
+    return count
+
+
+def brute_force_cliques(graph: Graph, k: int) -> int:
+    """Count k-cliques by exhaustive enumeration (small graphs only)."""
+    nxg = to_networkx(graph)
+    count = 0
+    for sub in itertools.combinations(nxg.nodes(), k):
+        if all(nxg.has_edge(a, b) for a, b in itertools.combinations(sub, 2)):
+            count += 1
+    return count
+
+
+def is_maximal_matching(graph: Graph, partner: list) -> bool:
+    """Check validity + maximality of a matching given partner ids."""
+    nxg = to_networkx(graph)
+    for v, p in enumerate(partner):
+        if p == -1:
+            continue
+        if not nxg.has_edge(v, p) or partner[p] != v:
+            return False
+    return all(partner[u] != -1 or partner[v] != -1 for u, v in nxg.edges() if u != v)
+
+
+def is_maximal_independent_set(graph: Graph, members: list) -> bool:
+    nxg = to_networkx(graph)
+    chosen = [v for v in range(graph.num_vertices) if members[v]]
+    for i, a in enumerate(chosen):
+        for b in chosen[i + 1 :]:
+            if nxg.has_edge(a, b):
+                return False
+    for v in range(graph.num_vertices):
+        if not members[v] and not any(members[u] for u in nxg.neighbors(v)):
+            return False
+    return True
+
+
+def is_valid_coloring(graph: Graph, colors: list) -> bool:
+    return all(colors[u] != colors[v] for u, v in graph.edges() if u != v)

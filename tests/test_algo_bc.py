@@ -1,0 +1,60 @@
+"""Tests for Brandes betweenness centrality."""
+
+import networkx as nx
+import pytest
+
+from repro import Graph, random_graph
+from repro.algorithms import bc
+from oracles import to_networkx
+
+
+def accumulate_all_sources(graph):
+    total = [0.0] * graph.num_vertices
+    for root in range(graph.num_vertices):
+        result = bc(graph, root=root)
+        for v in range(graph.num_vertices):
+            total[v] += result.values[v]
+    return total
+
+
+class TestSingleSource:
+    def test_path_graph_dependencies(self, path_graph):
+        # From vertex 0 on a path 0-1-2-3-4: delta(1)=3, delta(2)=2, delta(3)=1.
+        result = bc(path_graph, root=0)
+        assert result.values == pytest.approx([0.0, 3.0, 2.0, 1.0, 0.0])
+
+    def test_root_excluded(self, medium_graph):
+        assert bc(medium_graph, root=0).values[0] == 0.0
+
+    def test_star_center(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        result = bc(g, root=1)
+        # All shortest paths from 1 pass through the hub 0.
+        assert result.values[0] == pytest.approx(2.0)
+
+    def test_levels_recorded(self, path_graph):
+        assert bc(path_graph, root=0).extra["levels"] == 5
+
+    def test_multiplicity_counted(self):
+        # Diamond: two shortest paths 0->3; vertices 1,2 each carry 0.5.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        result = bc(g, root=0)
+        assert result.values[1] == pytest.approx(0.5)
+        assert result.values[2] == pytest.approx(0.5)
+
+
+class TestAllSources:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_matches_networkx_betweenness(self, seed):
+        g = random_graph(12, 20, seed=seed)
+        total = accumulate_all_sources(g)
+        oracle = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        for v in range(12):
+            # Undirected: each pair counted from both endpoints -> halve.
+            assert total[v] / 2 == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_disconnected_graph(self, disconnected_graph):
+        total = accumulate_all_sources(disconnected_graph)
+        oracle = nx.betweenness_centrality(to_networkx(disconnected_graph), normalized=False)
+        for v in range(6):
+            assert total[v] / 2 == pytest.approx(oracle[v], abs=1e-9)

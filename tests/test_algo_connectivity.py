@@ -1,0 +1,150 @@
+"""Tests for SCC, BCC and MSF."""
+
+from collections import defaultdict
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, load_dataset, random_graph
+from repro.algorithms import bcc, msf, scc
+from oracles import to_networkx
+
+
+def directed_random(n, m, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    edges = {(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)}
+    edges = [(s, d) for s, d in edges if s != d]
+    return Graph.from_edges(edges, directed=True, num_vertices=n)
+
+
+def scc_oracle(graph):
+    nxg = to_networkx(graph)
+    return {v: min(c) for c in nx.strongly_connected_components(nxg) for v in c}
+
+
+def bcc_edge_partition(result):
+    groups = defaultdict(set)
+    for edge, label in result.extra["edge_groups"].items():
+        groups[label].add(frozenset(edge))
+    return {frozenset(g) for g in groups.values()}
+
+
+def bcc_oracle(graph):
+    nxg = to_networkx(graph)
+    return {
+        frozenset(frozenset(e) for e in comp)
+        for comp in nx.biconnected_component_edges(nxg)
+    }
+
+
+class TestSCC:
+    def test_small_graph(self, directed_graph):
+        result = scc(directed_graph)
+        oracle = scc_oracle(directed_graph)
+        assert result.values == [oracle[v] for v in range(6)]
+
+    def test_requires_directed(self, path_graph):
+        with pytest.raises(ValueError):
+            scc(path_graph)
+
+    def test_dag_all_trivial(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)], directed=True)
+        assert scc(g).values == [0, 1, 2]
+
+    def test_single_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        assert scc(g).values == [0, 0, 0]
+
+    def test_dataset_variant(self):
+        g = load_dataset("OR", scale=0.05, directed=True)
+        result = scc(g)
+        oracle = scc_oracle(g)
+        assert result.values == [oracle[v] for v in range(g.num_vertices)]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_digraphs(self, seed):
+        g = directed_random(20, 45, seed)
+        oracle = scc_oracle(g)
+        assert scc(g).values == [oracle[v] for v in range(20)]
+
+
+class TestBCC:
+    def test_two_triangles(self, two_triangles):
+        result = bcc(two_triangles)
+        assert bcc_edge_partition(result) == bcc_oracle(two_triangles)
+
+    def test_tree_every_edge_own_group(self, path_graph):
+        result = bcc(path_graph)
+        assert len(bcc_edge_partition(result)) == 4  # each bridge alone
+
+    def test_cycle_single_group(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(bcc_edge_partition(bcc(g))) == 1
+
+    def test_requires_undirected(self, directed_graph):
+        with pytest.raises(ValueError):
+            bcc(directed_graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_graph(25, 40, seed=seed)
+        assert bcc_edge_partition(bcc(g)) == bcc_oracle(g)
+
+    def test_articulation_points_detectable(self, two_triangles):
+        """A vertex is an articulation point iff its incident edges span
+        more than one BCC group."""
+        result = bcc(two_triangles)
+        groups = result.extra["edge_groups"]
+        nxg = to_networkx(two_triangles)
+        articulation = set(nx.articulation_points(nxg))
+        for v in range(two_triangles.num_vertices):
+            incident = {lab for (a, b), lab in groups.items() if v in (a, b)}
+            assert (len(incident) > 1) == (v in articulation)
+
+
+class TestMSF:
+    def test_matches_networkx_weight(self):
+        g = random_graph(30, 70, seed=4).with_random_weights(seed=1)
+        nxg = to_networkx(g)
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(nxg, data=True)
+        )
+        result = msf(g)
+        assert result.extra["total_weight"] == pytest.approx(expected)
+
+    def test_forest_size(self, disconnected_graph):
+        result = msf(disconnected_graph.with_random_weights(seed=0))
+        # |V| - #components = 6 - 3 = 3 edges.
+        assert result.extra["num_edges"] == 3
+
+    def test_edges_form_forest(self):
+        g = random_graph(20, 50, seed=6).with_random_weights(seed=2)
+        result = msf(g)
+        nxf = nx.Graph()
+        nxf.add_nodes_from(range(20))
+        nxf.add_edges_from((s, d) for s, d, _ in result.values)
+        assert nx.is_forest(nxf)
+
+    def test_unweighted_spanning_tree(self, medium_graph):
+        result = msf(medium_graph)
+        nxg = to_networkx(medium_graph)
+        comps = nx.number_connected_components(nxg)
+        assert result.extra["num_edges"] == medium_graph.num_vertices - comps
+
+    def test_deterministic(self):
+        g = random_graph(15, 30, seed=1).with_random_weights(seed=3)
+        assert msf(g).values == msf(g).values
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(3, 18), m=st.integers(2, 40), seed=st.integers(0, 20))
+def test_msf_weight_matches_networkx(n, m, seed):
+    """Property: the distributed Kruskal matches networkx's MSF weight."""
+    g = random_graph(n, m, seed=seed).with_random_weights(seed=seed + 1)
+    nxg = to_networkx(g)
+    expected = sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(nxg, data=True))
+    assert msf(g).extra["total_weight"] == pytest.approx(expected)

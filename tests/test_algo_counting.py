@@ -1,0 +1,99 @@
+"""Tests for the counting applications: TC, RC, CL."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph
+from repro.algorithms import cl, rc, tc
+from oracles import brute_force_cliques, brute_force_rectangles, to_networkx
+
+
+class TestTriangles:
+    def test_matches_networkx(self, medium_graph):
+        result = tc(medium_graph)
+        expected = sum(nx.triangles(to_networkx(medium_graph)).values()) // 3
+        assert result.extra["total"] == expected
+
+    def test_triangle_free(self, path_graph):
+        assert tc(path_graph).extra["total"] == 0
+
+    def test_single_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = tc(g)
+        assert result.extra["total"] == 1
+        assert sum(result.values) == 1
+
+    def test_k4_has_four_triangles(self):
+        g = Graph.from_edges([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert tc(g).extra["total"] == 4
+
+    def test_two_triangles_sharing_vertex(self, two_triangles):
+        assert tc(two_triangles).extra["total"] == 2
+
+
+class TestRectangles:
+    def test_square(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert rc(g).extra["total"] == 1
+
+    def test_square_with_diagonal_still_one(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert rc(g).extra["total"] == 1
+
+    def test_k4_has_three_rectangles(self):
+        g = Graph.from_edges([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert rc(g).extra["total"] == 3
+
+    def test_rectangle_free(self, path_graph):
+        assert rc(path_graph).extra["total"] == 0
+
+    def test_matches_brute_force(self):
+        g = random_graph(14, 30, seed=5)
+        assert rc(g).extra["total"] == brute_force_rectangles(g)
+
+    def test_complete_bipartite(self):
+        # K_{2,3}: C(2,2)*C(3,2) = 3 rectangles.
+        g = Graph.from_edges([(a, b) for a in (0, 1) for b in (2, 3, 4)])
+        assert rc(g).extra["total"] == 3
+
+
+class TestCliques:
+    def test_k4_counts(self):
+        g = Graph.from_edges([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert cl(g, k=4).extra["total"] == 1
+        assert cl(g, k=3).extra["total"] == 4
+        assert cl(g, k=2).extra["total"] == 6
+
+    def test_k5_subcliques(self):
+        g = Graph.from_edges([(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert cl(g, k=4).extra["total"] == 5
+        assert cl(g, k=5).extra["total"] == 1
+
+    def test_triangle_free_no_3cliques(self, path_graph):
+        assert cl(path_graph, k=3).extra["total"] == 0
+
+    def test_k1_counts_vertices(self, path_graph):
+        assert cl(path_graph, k=1).extra["total"] == 5
+
+    def test_k2_counts_edges(self, medium_graph):
+        assert cl(medium_graph, k=2).extra["total"] == medium_graph.num_edges
+
+    def test_k3_equals_triangle_count(self, medium_graph):
+        assert cl(medium_graph, k=3).extra["total"] == tc(medium_graph).extra["total"]
+
+    def test_invalid_k_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            cl(path_graph, k=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 14), m=st.integers(3, 35), seed=st.integers(0, 30))
+def test_counts_match_brute_force(n, m, seed):
+    """Property: TC / RC / CL(3,4) agree with exhaustive enumeration."""
+    g = random_graph(n, m, seed=seed)
+    assert tc(g).extra["total"] == brute_force_cliques(g, 3)
+    assert rc(g).extra["total"] == brute_force_rectangles(g)
+    assert cl(g, k=3).extra["total"] == brute_force_cliques(g, 3)
+    assert cl(g, k=4).extra["total"] == brute_force_cliques(g, 4)

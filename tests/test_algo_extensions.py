@@ -1,0 +1,251 @@
+"""Tests for the extension algorithms: clustering, assortativity,
+bridges/articulation points, k-truss, diameter, closeness, HITS, PPR."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph, road_network, social_network
+from repro.algorithms import (
+    assortativity,
+    bridges,
+    closeness,
+    clustering,
+    double_sweep,
+    eccentricities,
+    hits,
+    ktruss,
+    personalized_pagerank,
+)
+from oracles import to_networkx
+
+
+class TestClustering:
+    def test_matches_networkx(self, medium_graph):
+        result = clustering(medium_graph)
+        oracle = nx.clustering(to_networkx(medium_graph))
+        for v in range(medium_graph.num_vertices):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_average_matches(self, medium_graph):
+        result = clustering(medium_graph)
+        assert result.extra["average"] == pytest.approx(
+            nx.average_clustering(to_networkx(medium_graph)), abs=1e-9
+        )
+
+    def test_transitivity_matches(self, medium_graph):
+        result = clustering(medium_graph)
+        assert result.extra["global"] == pytest.approx(
+            nx.transitivity(to_networkx(medium_graph)), abs=1e-9
+        )
+
+    def test_triangle_graph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = clustering(g)
+        assert result.values == [1.0, 1.0, 1.0]
+
+    def test_path_zero(self, path_graph):
+        assert clustering(path_graph).values == [0.0] * 5
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, medium_graph):
+        result = assortativity(medium_graph)
+        oracle = nx.degree_assortativity_coefficient(to_networkx(medium_graph))
+        assert result.extra["coefficient"] == pytest.approx(oracle, abs=1e-9)
+
+    def test_star_is_disassortative(self):
+        g = Graph.from_edges([(0, i) for i in range(1, 7)])
+        # A perfect star: degree correlation is degenerate (variance 0 on
+        # one side) -> networkx yields nan; a star plus an edge is
+        # strongly negative.
+        g2 = Graph.from_edges([(0, i) for i in range(1, 7)] + [(1, 2)])
+        result = assortativity(g2)
+        oracle = nx.degree_assortativity_coefficient(to_networkx(g2))
+        assert result.extra["coefficient"] == pytest.approx(oracle, abs=1e-9)
+        assert result.extra["coefficient"] < 0
+
+    def test_regular_graph_nan(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])  # 2-regular
+        assert math.isnan(assortativity(g).extra["coefficient"])
+
+
+class TestBridges:
+    def test_matches_networkx(self, medium_graph):
+        result = bridges(medium_graph)
+        oracle = {(min(u, v), max(u, v)) for u, v in nx.bridges(to_networkx(medium_graph))}
+        mine = {(min(u, v), max(u, v)) for u, v in result.values}
+        assert mine == oracle
+
+    def test_articulation_points_match(self, medium_graph):
+        result = bridges(medium_graph)
+        oracle = set(nx.articulation_points(to_networkx(medium_graph)))
+        assert set(result.extra["articulation_points"]) == oracle
+
+    def test_path_all_bridges(self, path_graph):
+        result = bridges(path_graph)
+        assert result.extra["num_bridges"] == 4
+        assert result.extra["articulation_points"] == [1, 2, 3]
+
+    def test_cycle_no_bridges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = bridges(g)
+        assert result.values == []
+        assert result.extra["articulation_points"] == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        g = random_graph(20, 30, seed=seed)
+        result = bridges(g)
+        nxg = to_networkx(g)
+        assert {frozenset(e) for e in result.values} == {
+            frozenset(e) for e in nx.bridges(nxg)
+        }
+        assert set(result.extra["articulation_points"]) == set(
+            nx.articulation_points(nxg)
+        )
+
+
+class TestKTruss:
+    def _check_against_networkx(self, g):
+        result = ktruss(g)
+        nxg = to_networkx(g)
+        max_k = result.extra["max_k"]
+        for k in range(2, max_k + 2):
+            expected = {
+                (min(u, v), max(u, v)) for u, v in nx.k_truss(nxg, k).edges()
+            }
+            mine = {e for e, t in result.values.items() if t >= k}
+            assert mine == expected, k
+
+    def test_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = ktruss(g)
+        assert all(t == 3 for t in result.values.values())
+
+    def test_k4(self):
+        g = Graph.from_edges([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        result = ktruss(g)
+        assert all(t == 4 for t in result.values.values())
+
+    def test_path_trussness_two(self, path_graph):
+        result = ktruss(path_graph)
+        assert all(t == 2 for t in result.values.values())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        self._check_against_networkx(random_graph(16, 40, seed=seed))
+
+    def test_social_graph(self):
+        self._check_against_networkx(social_network(60, 8, seed=2))
+
+
+class TestDiameter:
+    def test_double_sweep_lower_bound(self, medium_graph):
+        result = double_sweep(medium_graph)
+        nxg = to_networkx(medium_graph)
+        exact = nx.diameter(nxg)
+        assert result.extra["diameter_lb"] <= exact
+        assert result.extra["diameter_lb"] >= max(1, exact // 2)
+
+    def test_double_sweep_exact_on_path(self, path_graph):
+        assert double_sweep(path_graph).extra["diameter_lb"] == 4
+
+    def test_eccentricities_match_networkx(self):
+        g = random_graph(18, 40, seed=2)
+        nxg = to_networkx(g)
+        if not nx.is_connected(nxg):
+            pytest.skip("want a connected instance")
+        result = eccentricities(g)
+        oracle = nx.eccentricity(nxg)
+        assert result.values == [oracle[v] for v in range(18)]
+        assert result.extra["diameter"] == nx.diameter(nxg)
+        assert result.extra["radius"] == nx.radius(nxg)
+
+    def test_road_network_long_diameter(self):
+        g = road_network(10, 10, seed=0, drop_fraction=0.0)
+        assert double_sweep(g).extra["diameter_lb"] == 18
+
+
+class TestCloseness:
+    def test_matches_networkx(self):
+        g = social_network(40, 6, seed=1)
+        result = closeness(g)
+        oracle = nx.closeness_centrality(to_networkx(g), wf_improved=False)
+        for v in range(g.num_vertices):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_subset_of_sources(self, medium_graph):
+        result = closeness(medium_graph, sources=[0, 5])
+        assert result.values[0] > 0 and result.values[5] > 0
+        assert result.values[1] == 0.0  # not computed
+
+    def test_isolated_vertex_zero(self, disconnected_graph):
+        assert closeness(disconnected_graph).values[5] == 0.0
+
+
+class TestHits:
+    def test_matches_networkx(self):
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0), (1, 3)], directed=True
+        )
+        hubs, auths = hits(g, max_iters=200, tolerance=1e-14).values
+        nx_h, nx_a = nx.hits(to_networkx(g), max_iter=1000, tol=1e-14)
+        # networkx normalizes to sum 1; ours to L2 — compare ratios.
+        for v in range(1, 4):
+            if nx_h[0] > 1e-12 and hubs[0] > 1e-12:
+                assert hubs[v] / hubs[0] == pytest.approx(nx_h[v] / nx_h[0], abs=1e-4)
+            if nx_a[0] > 1e-12 and auths[0] > 1e-12:
+                assert auths[v] / auths[0] == pytest.approx(nx_a[v] / nx_a[0], abs=1e-4)
+
+    def test_star_hub(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)], directed=True)
+        hubs, auths = hits(g).values
+        assert hubs[0] == max(hubs)
+        assert auths[0] == min(auths)
+
+
+class TestPPR:
+    def test_matches_networkx(self, medium_graph):
+        seeds = [0, 3]
+        result = personalized_pagerank(medium_graph, seeds, max_iters=100, tolerance=1e-12)
+        personalization = {v: 0.0 for v in range(medium_graph.num_vertices)}
+        for s in seeds:
+            personalization[s] = 0.5
+        oracle = nx.pagerank(
+            to_networkx(medium_graph), alpha=0.85, personalization=personalization,
+            max_iter=500, tol=1e-12,
+        )
+        for v in range(medium_graph.num_vertices):
+            assert result.values[v] == pytest.approx(oracle[v], abs=5e-4)
+
+    def test_seed_bias(self, medium_graph):
+        result = personalized_pagerank(medium_graph, [7])
+        assert result.values[7] == max(result.values)
+
+    def test_empty_seeds_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            personalized_pagerank(medium_graph, [])
+
+    def test_out_of_range_seed_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            personalized_pagerank(medium_graph, [10**6])
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 16), m=st.integers(3, 35), seed=st.integers(0, 20))
+def test_clustering_and_bridges_invariants(n, m, seed):
+    """Property: clustering coefficients lie in [0, 1]; removing a bridge
+    increases the number of connected components."""
+    g = random_graph(n, m, seed=seed)
+    coeffs = clustering(g).values
+    assert all(0.0 <= c <= 1.0 for c in coeffs)
+    nxg = to_networkx(g)
+    before = nx.number_connected_components(nxg)
+    for u, v in bridges(g).values:
+        trimmed = nxg.copy()
+        trimmed.remove_edge(u, v)
+        assert nx.number_connected_components(trimmed) == before + 1

@@ -1,0 +1,240 @@
+"""Tests for the second extension wave: topology, bipartiteness,
+Jaccard similarity, semi-supervised LPA, weighted matching and
+MSF-based clustering."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph
+from repro.algorithms import (
+    bipartite,
+    has_cycle,
+    jaccard_similarity,
+    lpa_semi,
+    mm_weighted,
+    msf_clustering,
+    topological_levels,
+)
+from oracles import is_maximal_matching, to_networkx
+
+
+def directed_random(n, m, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    edges = {(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)}
+    return Graph.from_edges([(s, d) for s, d in edges if s != d], directed=True, num_vertices=n)
+
+
+class TestTopology:
+    def test_dag_levels(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], directed=True)
+        result = topological_levels(g)
+        assert result.values == [0, 1, 1, 2]
+        assert not result.extra["has_cycle"]
+
+    def test_order_is_topological(self):
+        # Orient random edges low->high: guaranteed DAG.
+        base = random_graph(20, 40, seed=3)
+        g = Graph.from_edges(
+            [(min(s, d), max(s, d)) for s, d in base.edges()],
+            directed=True,
+            num_vertices=20,
+        )
+        assert not has_cycle(g)
+        result = topological_levels(g)
+        position = {v: i for i, v in enumerate(result.extra["order"])}
+        for s, d in g.edges():
+            assert position[s] < position[d]
+
+    def test_cycle_detected(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        result = topological_levels(g)
+        assert result.extra["has_cycle"]
+        assert result.values == [-1, -1, -1]
+
+    def test_partial_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 1), (0, 3)], directed=True)
+        result = topological_levels(g)
+        assert result.extra["has_cycle"]
+        assert result.values[0] == 0 and result.values[3] == 1
+        assert result.values[1] == -1 and result.values[2] == -1
+
+    def test_matches_networkx_dagness(self):
+        for seed in range(6):
+            g = directed_random(15, 20, seed=seed)
+            nxg = to_networkx(g)
+            assert has_cycle(g) == (not nx.is_directed_acyclic_graph(nxg)), seed
+
+    def test_undirected_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            topological_levels(path_graph)
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = bipartite(g)
+        assert result.extra["is_bipartite"]
+        sides = result.values
+        assert sides[0] != sides[1] and sides[1] != sides[2]
+
+    def test_odd_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = bipartite(g)
+        assert not result.extra["is_bipartite"]
+        assert result.extra["odd_edge"] is not None
+
+    def test_matches_networkx(self):
+        for seed in range(6):
+            g = random_graph(15, 22, seed=seed)
+            expected = nx.is_bipartite(to_networkx(g))
+            assert bipartite(g).extra["is_bipartite"] == expected, seed
+
+    def test_coloring_valid_when_bipartite(self):
+        g = Graph.from_edges([(a, b) for a in (0, 1, 2) for b in (3, 4)])
+        result = bipartite(g)
+        assert result.extra["is_bipartite"]
+        for s, d in g.edges():
+            assert result.values[s] != result.values[d]
+
+    def test_disconnected(self, disconnected_graph):
+        result = bipartite(disconnected_graph)
+        assert result.extra["is_bipartite"]
+        assert all(side in (0, 1) for side in result.values)
+
+
+class TestJaccard:
+    def test_matches_networkx(self):
+        g = random_graph(15, 30, seed=2)
+        result = jaccard_similarity(g)
+        nxg = to_networkx(g)
+        for (u, v), sim in result.values.items():
+            expected = next(iter(nx.jaccard_coefficient(nxg, [(u, v)])))[2]
+            assert sim == pytest.approx(expected, abs=1e-9)
+
+    def test_pairs_are_two_hop(self):
+        g = random_graph(15, 30, seed=2)
+        result = jaccard_similarity(g)
+        nxg = to_networkx(g)
+        for u, v in result.values:
+            assert u < v
+            assert any(True for _ in nx.common_neighbors(nxg, u, v))
+
+    def test_recommendations_not_adjacent(self):
+        g = random_graph(20, 40, seed=1)
+        result = jaccard_similarity(g, top_k=5)
+        for (u, v), sim in result.extra["recommendations"]:
+            assert not g.has_edge(u, v)
+            assert 0.0 < sim <= 1.0
+
+    def test_square_similarity(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = jaccard_similarity(g)
+        # Opposite corners share both neighbors: J = 1.
+        assert result.values[(0, 2)] == pytest.approx(1.0)
+        assert result.values[(1, 3)] == pytest.approx(1.0)
+
+
+class TestLpaSemi:
+    def test_seeds_clamped(self, medium_graph):
+        result = lpa_semi(medium_graph, {0: 7, 1: 9})
+        assert result.values[0] == 7
+        assert result.values[1] == 9
+
+    def test_full_coverage_when_connected(self):
+        g = random_graph(25, 60, seed=4)
+        nxg = to_networkx(g)
+        if not nx.is_connected(nxg):
+            pytest.skip("want a connected instance")
+        result = lpa_semi(g, {0: 1})
+        assert all(c == 1 for c in result.values)
+
+    def test_two_seeds_partition(self):
+        # Two cliques joined by one edge: each keeps its seed's label.
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a + 4, b + 4) for a, b in edges]
+        edges.append((0, 4))
+        g = Graph.from_edges(edges)
+        result = lpa_semi(g, {1: 10, 5: 20})
+        assert result.values[2] == 10 and result.values[3] == 10
+        assert result.values[6] == 20 and result.values[7] == 20
+
+    def test_empty_seeds_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            lpa_semi(path_graph, {})
+
+    def test_out_of_range_seed_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            lpa_semi(path_graph, {99: 1})
+
+    def test_unreachable_stay_unlabeled(self, disconnected_graph):
+        result = lpa_semi(disconnected_graph, {0: 5})
+        assert result.values[3] == -1 and result.values[5] == -1
+        assert result.extra["covered"] == 3
+
+
+class TestWeightedMatching:
+    def test_valid_and_maximal(self):
+        g = random_graph(30, 70, seed=5).with_random_weights(seed=2)
+        result = mm_weighted(g)
+        assert is_maximal_matching(g, result.values)
+
+    def test_prefers_heavy_edges(self):
+        # Path a-b-c with w(a,b) >> w(b,c): the heavy edge must match.
+        g = Graph.from_edges([(0, 1), (1, 2)], weights=[10.0, 1.0])
+        result = mm_weighted(g)
+        assert (0, 1) in result.extra["matching"]
+
+    def test_half_approximation(self):
+        g = random_graph(16, 40, seed=3).with_random_weights(seed=1)
+        result = mm_weighted(g)
+        nxg = to_networkx(g)
+        optimal = nx.max_weight_matching(nxg)
+        opt_weight = sum(nxg[u][v]["weight"] for u, v in optimal)
+        assert result.extra["total_weight"] >= opt_weight / 2
+
+    def test_unweighted_degenerates_to_maximal(self, medium_graph):
+        result = mm_weighted(medium_graph)
+        assert is_maximal_matching(medium_graph, result.values)
+
+
+class TestMsfClustering:
+    def test_matches_single_linkage_count(self):
+        g = random_graph(20, 50, seed=6).with_random_weights(seed=4)
+        result = msf_clustering(g, k=4)
+        assert result.extra["num_clusters"] == 4
+
+    def test_k_one_gives_components(self, disconnected_graph):
+        result = msf_clustering(disconnected_graph.with_random_weights(seed=0), k=1)
+        # Already 3 components; no cuts possible below that.
+        assert result.extra["num_clusters"] == 3
+
+    def test_clusters_are_connected(self):
+        g = random_graph(18, 40, seed=7).with_random_weights(seed=5)
+        result = msf_clustering(g, k=3)
+        nxg = to_networkx(g)
+        for label in set(result.values):
+            members = [v for v in range(18) if result.values[v] == label]
+            assert nx.is_connected(nxg.subgraph(members))
+
+    def test_cut_edges_are_heaviest_in_forest(self):
+        g = random_graph(15, 40, seed=8).with_random_weights(seed=6)
+        result = msf_clustering(g, k=3)
+        cut = result.extra["cut_edges"]
+        assert len(cut) == 2
+        assert cut[0][2] <= cut[1][2]
+
+    def test_invalid_k_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            msf_clustering(path_graph, k=0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(3, 16), m=st.integers(2, 40), seed=st.integers(0, 20))
+def test_weighted_matching_invariants(n, m, seed):
+    """Property: weighted matching is always a valid maximal matching."""
+    g = random_graph(n, m, seed=seed).with_random_weights(seed=seed + 1)
+    assert is_maximal_matching(g, mm_weighted(g).values)

@@ -1,0 +1,216 @@
+"""Tests for the third extension wave: subgraph extraction, k-center,
+modularity, and engine property management."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FlashEngine, Graph, ctrue, random_graph
+from repro.algorithms import INF, k_center, lpa, modularity
+from oracles import to_networkx
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub, mapping = g.subgraph([0, 1, 2])
+        assert mapping == [0, 1, 2]
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_renumbering(self):
+        g = Graph.from_edges([(0, 1), (1, 5), (5, 9)], num_vertices=10)
+        sub, mapping = g.subgraph([1, 5, 9])
+        assert mapping == [1, 5, 9]
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_weights_carried(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], weights=[5.0, 7.0])
+        sub, _ = g.subgraph([1, 2])
+        assert list(sub.weighted_edges()) == [(0, 1, 7.0)]
+
+    def test_directed(self):
+        g = Graph.from_edges([(0, 1), (2, 1)], directed=True)
+        sub, mapping = g.subgraph([1, 2])
+        assert sub.directed
+        assert sub.edges() == [(1, 0)]
+
+    def test_out_of_range_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.subgraph([5])
+
+    def test_matches_networkx(self):
+        g = random_graph(20, 45, seed=1)
+        keep = [0, 3, 5, 7, 11, 13, 17]
+        sub, mapping = g.subgraph(keep)
+        nx_sub = to_networkx(g).subgraph(keep)
+        expected = {(min(mapping.index(u), mapping.index(v)), max(mapping.index(u), mapping.index(v)))
+                    for u, v in nx_sub.edges()}
+        mine = {(min(s, d), max(s, d)) for s, d in sub.edges()}
+        assert mine == expected
+
+
+class TestKCenter:
+    def test_covers_graph(self, medium_graph):
+        result = k_center(medium_graph, k=4)
+        assert len(result.extra["centers"]) == 4
+        assert all(d != INF for d in result.values)  # connected graph covered
+
+    def test_radius_shrinks_with_k(self, medium_graph):
+        r1 = k_center(medium_graph, k=1).extra["radius"]
+        r5 = k_center(medium_graph, k=5).extra["radius"]
+        assert r5 <= r1
+
+    def test_centers_at_distance_zero(self, medium_graph):
+        result = k_center(medium_graph, k=3)
+        for c in result.extra["centers"]:
+            assert result.values[c] == 0
+
+    def test_k_exceeding_vertices(self, path_graph):
+        result = k_center(path_graph, k=100)
+        assert result.extra["radius"] == 0
+
+    def test_invalid_k(self, path_graph):
+        with pytest.raises(ValueError):
+            k_center(path_graph, k=0)
+
+    def test_distances_are_nearest_center(self, medium_graph):
+        result = k_center(medium_graph, k=3)
+        nxg = to_networkx(medium_graph)
+        for v in range(medium_graph.num_vertices):
+            expected = min(
+                nx.shortest_path_length(nxg, c, v)
+                for c in result.extra["centers"]
+                if nx.has_path(nxg, c, v)
+            )
+            assert result.values[v] == expected
+
+
+class TestModularity:
+    def test_matches_networkx(self, medium_graph):
+        labels = lpa(medium_graph, max_iters=8).values
+        q = modularity(medium_graph, labels).values
+        comms = {}
+        for v, label in enumerate(labels):
+            comms.setdefault(label, set()).add(v)
+        expected = nx.community.modularity(to_networkx(medium_graph), list(comms.values()))
+        assert q == pytest.approx(expected, abs=1e-9)
+
+    def test_two_cliques_high_modularity(self):
+        edges = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        edges += [(a + 5, b + 5) for a, b in edges]
+        edges.append((0, 5))
+        g = Graph.from_edges(edges)
+        labels = [0] * 5 + [1] * 5
+        q = modularity(g, labels).values
+        assert q > 0.4
+
+    def test_singleton_partition_nonpositive(self, medium_graph):
+        labels = list(range(medium_graph.num_vertices))
+        assert modularity(medium_graph, labels).values <= 0
+
+    def test_wrong_label_length_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            modularity(path_graph, [0])
+
+    def test_directed_rejected(self, directed_graph):
+        with pytest.raises(ValueError):
+            modularity(directed_graph, [0] * 6)
+
+
+class TestDropProperty:
+    def test_algorithms_can_share_engine(self, medium_graph):
+        from repro.algorithms import bfs
+
+        eng = FlashEngine(medium_graph, num_workers=2)
+        first = bfs(eng, root=0)
+        eng.drop_property("dis")
+        second = bfs(eng, root=1)  # re-declares "dis" without clashing
+        assert first.values != second.values
+
+    def test_dropped_property_gone(self):
+        eng = FlashEngine(Graph.from_edges([(0, 1)]), num_workers=1)
+        eng.add_property("x", 0)
+        eng.drop_property("x")
+        with pytest.raises(KeyError):
+            eng.values("x")
+
+
+class TestPathsAndHarmonic:
+    def test_shortest_path_is_valid(self, medium_graph):
+        from repro.algorithms import shortest_path
+
+        result = shortest_path(medium_graph, 0, 7)
+        path = result.values
+        nxg = to_networkx(medium_graph)
+        assert path[0] == 0 and path[-1] == 7
+        for a, b in zip(path, path[1:]):
+            assert nxg.has_edge(a, b)
+        assert result.extra["length"] == nx.shortest_path_length(nxg, 0, 7)
+
+    def test_shortest_path_unreachable(self, disconnected_graph):
+        from repro.algorithms import shortest_path
+
+        result = shortest_path(disconnected_graph, 0, 5)
+        assert result.values == []
+        assert result.extra["length"] is None
+
+    def test_shortest_path_to_self(self, path_graph):
+        from repro.algorithms import shortest_path
+
+        result = shortest_path(path_graph, 2, 2)
+        assert result.values == [2]
+        assert result.extra["length"] == 0
+
+    def test_harmonic_matches_networkx(self, disconnected_graph):
+        from repro.algorithms import harmonic_centrality
+
+        result = harmonic_centrality(disconnected_graph)
+        oracle = nx.harmonic_centrality(to_networkx(disconnected_graph))
+        for v in range(disconnected_graph.num_vertices):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_harmonic_on_medium_graph(self, medium_graph):
+        from repro.algorithms import harmonic_centrality
+
+        result = harmonic_centrality(medium_graph, sources=[0, 1, 2])
+        oracle = nx.harmonic_centrality(to_networkx(medium_graph))
+        for v in (0, 1, 2):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+
+class TestMaxClique:
+    def test_matches_networkx_clique_number(self, medium_graph):
+        from repro.algorithms import max_clique
+
+        result = max_clique(medium_graph)
+        nxg = to_networkx(medium_graph)
+        expected = max(len(c) for c in nx.find_cliques(nxg))
+        assert result.extra["size"] == expected
+        # The returned set really is a clique.
+        members = result.values
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                assert nxg.has_edge(a, b)
+
+    def test_complete_graph(self):
+        from repro.algorithms import max_clique
+        from repro.graph import complete_graph
+
+        result = max_clique(complete_graph(6))
+        assert result.extra["size"] == 6
+
+    def test_triangle_free(self, path_graph):
+        from repro.algorithms import max_clique
+
+        assert max_clique(path_graph).extra["size"] == 2
+
+    def test_random_graphs(self):
+        from repro.algorithms import max_clique
+
+        for seed in range(4):
+            g = random_graph(18, 50, seed=seed)
+            nxg = to_networkx(g)
+            expected = max(len(c) for c in nx.find_cliques(nxg))
+            assert max_clique(g).extra["size"] == expected, seed

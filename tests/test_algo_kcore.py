@@ -1,0 +1,67 @@
+"""Tests for k-core decomposition (basic peeling + optimized local)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph, social_network
+from repro.algorithms import kcore_basic, kcore_opt
+from oracles import to_networkx
+
+
+def oracle_cores(graph):
+    return nx.core_number(to_networkx(graph))
+
+
+class TestBasic:
+    def test_matches_networkx(self, medium_graph):
+        result = kcore_basic(medium_graph)
+        oracle = oracle_cores(medium_graph)
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_isolated_vertices_core_zero(self):
+        g = random_graph(5, 0, seed=0)
+        assert kcore_basic(g).values == [0] * 5
+
+    def test_clique_core(self):
+        g = Graph.from_edges([(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert kcore_basic(g).values == [4] * 5
+
+    def test_path_core_one(self, path_graph):
+        assert kcore_basic(path_graph).values == [1] * 5
+
+    def test_max_k_reported(self, medium_graph):
+        result = kcore_basic(medium_graph)
+        assert result.extra["max_k"] == max(result.values)
+
+
+class TestOptimized:
+    def test_matches_networkx(self, medium_graph):
+        result = kcore_opt(medium_graph)
+        oracle = oracle_cores(medium_graph)
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_clique(self):
+        g = Graph.from_edges([(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert kcore_opt(g).values == [4] * 5
+
+    def test_fewer_supersteps_than_basic(self):
+        """The optimized algorithm's selling point (App. B-F): local
+        refinement needs far fewer rounds than per-k peeling."""
+        g = social_network(300, 12, seed=4)
+        basic = kcore_basic(g)
+        opt = kcore_opt(g)
+        assert opt.values == basic.values
+        assert opt.iterations < basic.iterations
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 25), m=st.integers(0, 60), seed=st.integers(0, 30))
+def test_core_numbers_agree(n, m, seed):
+    """Property: both variants equal networkx core numbers."""
+    g = random_graph(n, m, seed=seed)
+    oracle = oracle_cores(g)
+    expected = [oracle[v] for v in range(n)]
+    assert kcore_basic(g).values == expected
+    assert kcore_opt(g).values == expected

@@ -1,0 +1,113 @@
+"""Tests for graph coloring, LPA and PageRank."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph, social_network
+from repro.algorithms import gc, lpa, pagerank
+from oracles import is_valid_coloring, to_networkx
+
+
+class TestColoring:
+    def test_valid_coloring(self, medium_graph):
+        result = gc(medium_graph)
+        assert is_valid_coloring(medium_graph, result.values)
+
+    def test_num_colors_reported(self, medium_graph):
+        result = gc(medium_graph)
+        assert result.extra["num_colors"] == len(set(result.values))
+
+    def test_bipartite_two_colors(self):
+        g = Graph.from_edges([(a, b) for a in (0, 1, 2) for b in (3, 4, 5)])
+        result = gc(g)
+        assert is_valid_coloring(g, result.values)
+        assert result.extra["num_colors"] == 2
+
+    def test_complete_graph_needs_n_colors(self):
+        g = Graph.from_edges([(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert gc(g).extra["num_colors"] == 5
+
+    def test_edgeless_single_color(self):
+        g = random_graph(4, 0, seed=0)
+        assert gc(g).extra["num_colors"] == 1
+
+    def test_colors_bounded_by_max_degree_plus_one(self, medium_graph):
+        result = gc(medium_graph)
+        assert result.extra["num_colors"] <= max(medium_graph.degrees()) + 1
+
+
+class TestLPA:
+    def test_connected_components_are_label_boundaries(self, disconnected_graph):
+        result = lpa(disconnected_graph, max_iters=10)
+        labels = result.values
+        # Labels never cross component boundaries.
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_iteration_cap(self, medium_graph):
+        result = lpa(medium_graph, max_iters=3)
+        assert result.iterations <= 3
+
+    def test_deterministic(self, medium_graph):
+        a = lpa(medium_graph, max_iters=5).values
+        b = lpa(medium_graph, max_iters=5).values
+        assert a == b
+
+    def test_clique_converges_to_one_label(self):
+        g = Graph.from_edges([(a, b) for a in range(6) for b in range(a + 1, 6)])
+        result = lpa(g, max_iters=10)
+        assert len(set(result.values)) == 1
+
+    def test_two_cliques_two_labels(self):
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a + 4, b + 4) for a, b in edges]
+        edges.append((0, 4))  # weak bridge
+        g = Graph.from_edges(edges)
+        result = lpa(g, max_iters=20)
+        assert result.extra["num_labels"] == 2
+
+
+class TestPageRank:
+    def test_matches_networkx(self, medium_graph):
+        result = pagerank(medium_graph, max_iters=60, tolerance=1e-12)
+        oracle = nx.pagerank(to_networkx(medium_graph), alpha=0.85, tol=1e-12, max_iter=300)
+        for v in range(medium_graph.num_vertices):
+            assert result.values[v] == pytest.approx(oracle[v], abs=2e-4)
+
+    def test_sums_to_one(self, medium_graph):
+        result = pagerank(medium_graph, max_iters=50)
+        assert sum(result.values) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_graph_uniform(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = pagerank(g, max_iters=50)
+        assert result.values[0] == pytest.approx(result.values[1])
+        assert result.values[1] == pytest.approx(result.values[2])
+
+    def test_early_convergence(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = pagerank(g, max_iters=100, tolerance=1e-10)
+        assert result.iterations < 100
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 20), m=st.integers(0, 50), seed=st.integers(0, 30))
+def test_coloring_always_valid(n, m, seed):
+    """Property: greedy coloring never colors adjacent vertices alike."""
+    g = random_graph(n, m, seed=seed)
+    result = gc(g)
+    assert is_valid_coloring(g, result.values)
+    assert result.extra["num_colors"] <= (max(g.degrees()) if n else 0) + 1
+
+
+class TestPageRankDirected:
+    def test_dangling_nodes_match_networkx(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], directed=True)
+        result = pagerank(g, max_iters=300, tolerance=1e-13)
+        oracle = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-13, max_iter=500)
+        for v in range(4):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-6)
+        assert sum(result.values) == pytest.approx(1.0, abs=1e-9)

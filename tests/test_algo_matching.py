@@ -1,0 +1,87 @@
+"""Tests for MIS and maximal matching (basic + optimized)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, random_graph, social_network
+from repro.algorithms import mis, mm_basic, mm_opt
+from oracles import is_maximal_independent_set, is_maximal_matching
+
+
+class TestMIS:
+    def test_valid_and_maximal(self, medium_graph):
+        result = mis(medium_graph)
+        assert is_maximal_independent_set(medium_graph, result.values)
+        assert result.extra["size"] == sum(result.values)
+
+    def test_empty_graph_all_in(self):
+        g = random_graph(4, 0, seed=0)
+        assert mis(g).values == [True] * 4
+
+    def test_complete_graph_single_member(self):
+        g = Graph.from_edges([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert sum(mis(g).values) == 1
+
+    def test_path(self, path_graph):
+        result = mis(path_graph)
+        assert is_maximal_independent_set(path_graph, result.values)
+
+    def test_priority_prefers_low_degree(self):
+        # Star: the leaves (lower rank = deg*n+id) win, hub excluded.
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        result = mis(g)
+        assert result.values == [False, True, True, True]
+
+
+class TestMMBasic:
+    def test_valid_and_maximal(self, medium_graph):
+        result = mm_basic(medium_graph)
+        assert is_maximal_matching(medium_graph, result.values)
+
+    def test_pairs_consistent_with_values(self, medium_graph):
+        result = mm_basic(medium_graph)
+        for a, b in result.extra["matching"]:
+            assert result.values[a] == b and result.values[b] == a
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        assert mm_basic(g).values == [1, 0]
+
+    def test_path_matching(self, path_graph):
+        result = mm_basic(path_graph)
+        assert is_maximal_matching(path_graph, result.values)
+
+
+class TestMMOpt:
+    def test_valid_and_maximal(self, medium_graph):
+        result = mm_opt(medium_graph)
+        assert is_maximal_matching(medium_graph, result.values)
+
+    def test_frontier_collapses(self):
+        """Fig. 4(a): after round one, the optimized variant's active set
+        is a small fraction of the basic variant's."""
+        g = social_network(400, 12, seed=5)
+        basic = mm_basic(g)
+        opt = mm_opt(g)
+        assert is_maximal_matching(g, opt.values)
+        basic_work = sum(basic.engine.metrics.frontier_trace("edge_map_dense"))
+        basic_work += sum(basic.engine.metrics.frontier_trace("edge_map_sparse"))
+        opt_sparse = opt.engine.metrics.frontier_trace("edge_map_sparse")
+        # The reactivation frontiers shrink fast.
+        assert opt_sparse[-1] < g.num_vertices / 10
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        assert mm_opt(g).values == [1, 0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 25), m=st.integers(0, 60), seed=st.integers(0, 30))
+def test_matching_invariants(n, m, seed):
+    """Property: both MM variants produce valid maximal matchings and
+    MIS produces a valid maximal independent set."""
+    g = random_graph(n, m, seed=seed)
+    assert is_maximal_matching(g, mm_basic(g).values)
+    assert is_maximal_matching(g, mm_opt(g).values)
+    assert is_maximal_independent_set(g, mis(g).values)

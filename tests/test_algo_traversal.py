@@ -1,0 +1,94 @@
+"""Tests for BFS and SSSP against networkx oracles."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import random_graph, road_network, social_network
+from repro.algorithms import INF, bfs, sssp
+from oracles import to_networkx
+
+
+class TestBFS:
+    @pytest.mark.parametrize("mode", ["auto", "sparse", "dense"])
+    def test_matches_networkx(self, medium_graph, mode):
+        result = bfs(medium_graph, root=0, mode=mode)
+        oracle = nx.single_source_shortest_path_length(to_networkx(medium_graph), 0)
+        for v in range(medium_graph.num_vertices):
+            assert result.values[v] == oracle.get(v, INF)
+
+    def test_unreachable_vertices_inf(self, disconnected_graph):
+        result = bfs(disconnected_graph, root=0)
+        assert result.values[3] == INF
+        assert result.values[5] == INF
+        assert result.values[2] == 2
+
+    def test_root_distance_zero(self, path_graph):
+        assert bfs(path_graph, root=2).values[2] == 0
+
+    def test_iterations_equal_eccentricity(self, path_graph):
+        result = bfs(path_graph, root=0)
+        assert result.iterations == 5  # 4 hops + final empty-frontier step
+
+    def test_invalid_mode_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs(path_graph, mode="warp")
+
+    def test_modes_agree(self):
+        g = social_network(150, 8, seed=2)
+        base = bfs(g, root=0, mode="auto").values
+        assert bfs(g, root=0, mode="sparse").values == base
+        assert bfs(g, root=0, mode="dense").values == base
+
+    def test_worker_count_does_not_change_result(self, medium_graph):
+        one = bfs(medium_graph, root=0, num_workers=1).values
+        four = bfs(medium_graph, root=0, num_workers=4).values
+        assert one == four
+
+    def test_road_network_many_iterations(self):
+        g = road_network(12, 12, seed=0)
+        result = bfs(g, root=0)
+        assert result.iterations >= 12  # diameter-bound frontier advance
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self):
+        g = random_graph(30, 70, seed=11).with_random_weights(seed=2)
+        nxg = to_networkx(g)
+        result = sssp(g, root=0)
+        oracle = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(30):
+            if v in oracle:
+                assert result.values[v] == pytest.approx(oracle[v])
+            else:
+                assert result.values[v] == INF
+
+    def test_unweighted_behaves_like_bfs(self, medium_graph):
+        d_bfs = bfs(medium_graph, root=0).values
+        d_sssp = sssp(medium_graph, root=0).values
+        assert d_bfs == d_sssp
+
+    def test_root_zero(self, path_graph):
+        assert sssp(path_graph.with_random_weights(seed=0), root=0).values[0] == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 20), m=st.integers(2, 50), seed=st.integers(0, 20), root=st.integers(0, 19))
+def test_bfs_distance_invariants(n, m, seed, root):
+    """Property: BFS distances differ by at most 1 across any edge, and
+    every reachable non-root vertex has a neighbor one closer."""
+    g = random_graph(n, m, seed=seed)
+    root = root % n
+    dist = bfs(g, root=root).values
+    for s, d in g.edges():
+        if dist[s] != INF and dist[d] != INF:
+            assert abs(dist[s] - dist[d]) <= 1
+        else:
+            # An edge cannot connect a reachable and an unreachable vertex.
+            assert dist[s] == INF and dist[d] == INF
+    for v in range(n):
+        if dist[v] not in (INF, 0):
+            assert any(dist[int(u)] == dist[v] - 1 for u in g.out_neighbors(v))

@@ -1,0 +1,92 @@
+"""Tests for the analysis helpers: table rendering, heat-map buckets and
+the transcribed paper data's internal consistency."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.tables import format_table, heat_bucket, render_heatmap
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.50" in lines[2]
+        assert lines[3].split() == ["x", "-"]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formats(self):
+        out = format_table(["v"], [[123.456], [12.3], [0.0123]])
+        assert "123.5" in out
+        assert "12.30" in out
+        assert "0.0123" in out
+
+
+class TestHeatBuckets:
+    @pytest.mark.parametrize(
+        "slowdown,expected",
+        [
+            (1.0, "1.0"),
+            (1.005, "1.0"),
+            (1.5, "<2x"),
+            (4.9, "<5x"),
+            (20.0, "<25x"),
+            (100.0, "<125x"),
+            (9999.0, ">125x"),
+            (None, "failed"),
+        ],
+    )
+    def test_bucket(self, slowdown, expected):
+        assert heat_bucket(slowdown) == expected
+
+    def test_render_heatmap_structure(self):
+        slowdowns = {"app": {"DS": {"fw1": 1.0, "fw2": None}}}
+        out = render_heatmap(["app"], ["DS"], slowdowns, ["fw1", "fw2"])
+        assert "[fw1]" in out and "[fw2]" in out
+        assert "failed" in out
+
+
+class TestPaperData:
+    def test_table1_covers_all_rows(self):
+        assert len(paper.TABLE1) == 16
+        for row in paper.TABLE1.values():
+            assert set(row) == set(paper.FRAMEWORKS)
+
+    def test_flash_always_expressible_in_paper(self):
+        assert all(row["flash"] is not None for row in paper.TABLE1.values())
+
+    def test_table5_shape(self):
+        assert set(paper.TABLE5) == {"cc", "bfs", "bc", "mis", "mm", "kc", "tc", "gc"}
+        for app, per_ds in paper.TABLE5.items():
+            assert set(per_ds) == set(paper.DATASETS)
+            for cells in per_ds.values():
+                assert len(cells) == 5
+
+    def test_table5_flash_never_fails(self):
+        for per_ds in paper.TABLE5.values():
+            for cells in per_ds.values():
+                flash = cells[-1]
+                assert isinstance(flash, float)
+
+    def test_table6_shape(self):
+        assert set(paper.TABLE6) == {"scc", "bcc", "lpa", "msf", "rc", "cl"}
+        for app, per_ds in paper.TABLE6.items():
+            assert set(per_ds) == set(paper.DATASETS)
+            baseline_fw = paper.TABLE6_BASELINE[app]
+            for cells in per_ds.values():
+                assert len(cells) == 2
+                if baseline_fw is None:
+                    assert cells[0] is None
+
+    def test_headline_fractions(self):
+        assert 0 < paper.HEADLINES["fastest_fraction"] < 1
+        assert paper.HEADLINES["competitive_fraction"] > paper.HEADLINES["fastest_fraction"]
+
+    def test_fig4b_monotone(self):
+        speeds = [paper.FIG4B_SPEEDUPS[c] for c in sorted(paper.FIG4B_SPEEDUPS)]
+        assert speeds == sorted(speeds)

@@ -1,0 +1,71 @@
+"""Tests for the baselines' SSSP / PageRank programs and the
+five-framework agreement on them."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import random_graph
+from repro.algorithms import pagerank as flash_pagerank
+from repro.algorithms import sssp as flash_sssp
+from repro.baselines.gas_apps import gas_pagerank, gas_sssp
+from repro.baselines.gemini_apps import gemini_sssp
+from repro.baselines.ligra_apps import ligra_sssp
+from repro.baselines.pregel_apps import pregel_pagerank, pregel_sssp
+from oracles import to_networkx
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return random_graph(30, 70, seed=11).with_random_weights(seed=2)
+
+
+@pytest.fixture(scope="module")
+def dijkstra(weighted_graph):
+    return nx.single_source_dijkstra_path_length(to_networkx(weighted_graph), 0)
+
+
+class TestSSSPAcrossFrameworks:
+    @pytest.mark.parametrize(
+        "runner",
+        [pregel_sssp, gas_sssp, gemini_sssp, ligra_sssp],
+        ids=["pregel", "gas", "gemini", "ligra"],
+    )
+    def test_matches_dijkstra(self, runner, weighted_graph, dijkstra):
+        result = runner(weighted_graph, root=0)
+        for v in range(weighted_graph.num_vertices):
+            if v in dijkstra:
+                assert result.values[v] == pytest.approx(dijkstra[v])
+            else:
+                assert result.values[v] == math.inf
+
+    def test_flash_agrees(self, weighted_graph, dijkstra):
+        result = flash_sssp(weighted_graph, root=0)
+        for v, expected in dijkstra.items():
+            assert result.values[v] == pytest.approx(expected)
+
+
+class TestPageRankAcrossFrameworks:
+    def test_all_match_networkx(self, medium_graph):
+        oracle = nx.pagerank(to_networkx(medium_graph), alpha=0.85, tol=1e-12, max_iter=500)
+        for name, runner in (
+            ("pregel", lambda g: pregel_pagerank(g, max_iters=60)),
+            ("gas", lambda g: gas_pagerank(g, max_iters=60)),
+            ("flash", lambda g: flash_pagerank(g, max_iters=60, tolerance=1e-13)),
+        ):
+            result = runner(medium_graph)
+            for v in range(medium_graph.num_vertices):
+                assert result.values[v] == pytest.approx(oracle[v], abs=1e-3), name
+
+    def test_mass_conserved(self, medium_graph):
+        for runner in (pregel_pagerank, gas_pagerank):
+            result = runner(medium_graph, max_iters=30)
+            assert sum(result.values) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pregel_combiner_compresses_messages(self, medium_graph):
+        result = pregel_pagerank(medium_graph, max_iters=5)
+        # With the sum combiner, remote traffic per superstep is bounded
+        # by (#targets with remote senders), far below the arc count.
+        per_step = result.metrics.records[1].reduce_messages
+        assert per_step < medium_graph.num_arcs

@@ -1,0 +1,199 @@
+"""Tests for the GAS (PowerGraph) framework and suite."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import Graph, random_graph
+from repro.baselines.gas import GASFramework, GASProgram
+from repro.baselines import gas_apps as G
+from repro.errors import InexpressibleError
+from oracles import (
+    cc_labels,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_coloring,
+    to_networkx,
+)
+
+
+class _MinLabel(GASProgram):
+    def initial_value(self, vid, graph):
+        return vid
+
+    def gather(self, ctx, vid, value, nbr, nbr_value):
+        return nbr_value
+
+    def accum(self, a, b):
+        return min(a, b)
+
+    def apply(self, ctx, vid, value, acc):
+        return value if acc is None else min(value, acc)
+
+    def scatter(self, ctx, vid, value, changed, nbr, nbr_value):
+        return changed
+
+
+class TestFrameworkMechanics:
+    def test_runs_to_quiescence(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        fw = GASFramework(g, 2)
+        values = fw.run(_MinLabel())
+        assert values == [0, 0, 0]
+
+    def test_synchronous_semantics(self):
+        """Gather reads the previous iteration's snapshot."""
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        fw = GASFramework(g, 1)
+        fw.run(_MinLabel(), max_iterations=1)
+        # One synchronous sweep: each vertex got the min of its direct
+        # neighbors only.
+        assert fw.metrics.num_supersteps == 1
+
+    def test_initial_values_resume(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = GASFramework(g, 1)
+        values = fw.run(_MinLabel(), initial_values=[5, 7])
+        assert values == [5, 5]
+
+    def test_initial_active_restriction(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        fw = GASFramework(g, 1)
+        values = fw.run(_MinLabel(), initial_active=[1], max_iterations=1)
+        assert values == [0, 0, 2, 3]  # component {2,3} untouched
+
+    def test_gather_and_sync_accounting(self):
+        # 0 (worker 0) and 1 (worker 1) are neighbors: gather reduces
+        # across partitions and apply syncs back.
+        g = Graph.from_edges([(0, 1)])
+        fw = GASFramework(g, 2)
+        fw.run(_MinLabel(), max_iterations=1)
+        rec = fw.metrics.records[0]
+        assert rec.reduce_messages >= 1
+        assert rec.sync_messages >= 1  # vertex 1 changed
+
+    def test_invalid_direction_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = GASFramework(g, 1)
+
+        class Bad(_MinLabel):
+            gather_edges = "sideways"
+
+        with pytest.raises(ValueError):
+            fw.run(Bad())
+
+
+class TestApplications:
+    def test_cc(self, medium_graph):
+        oracle = cc_labels(medium_graph)
+        assert G.gas_cc(medium_graph).values == [
+            oracle[v] for v in range(medium_graph.num_vertices)
+        ]
+
+    def test_bfs(self, medium_graph):
+        oracle = nx.single_source_shortest_path_length(to_networkx(medium_graph), 0)
+        result = G.gas_bfs(medium_graph, 0)
+        assert all(
+            result.values[v] == oracle.get(v, math.inf)
+            for v in range(medium_graph.num_vertices)
+        )
+
+    def test_bc(self):
+        g = random_graph(12, 20, seed=7)
+        total = [0.0] * 12
+        for root in range(12):
+            r = G.gas_bc(g, root=root)
+            for v in range(12):
+                total[v] += r.values[v]
+        oracle = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        assert all(abs(total[v] / 2 - oracle[v]) < 1e-6 for v in range(12))
+
+    def test_mis(self, medium_graph):
+        assert is_maximal_independent_set(medium_graph, G.gas_mis(medium_graph).values)
+
+    def test_mm(self, medium_graph):
+        assert is_maximal_matching(medium_graph, G.gas_mm(medium_graph).values)
+
+    def test_kc(self, medium_graph):
+        oracle = nx.core_number(to_networkx(medium_graph))
+        assert G.gas_kc(medium_graph).values == [
+            oracle[v] for v in range(medium_graph.num_vertices)
+        ]
+
+    def test_tc(self, medium_graph):
+        expected = sum(nx.triangles(to_networkx(medium_graph)).values()) // 3
+        assert G.gas_tc(medium_graph).extra["total"] == expected
+
+    def test_gc(self, medium_graph):
+        assert is_valid_coloring(medium_graph, G.gas_gc(medium_graph).values)
+
+    def test_lpa_runs(self, medium_graph):
+        assert len(G.gas_lpa(medium_graph).values) == medium_graph.num_vertices
+
+    @pytest.mark.parametrize(
+        "fn",
+        [G.gas_cc_opt, G.gas_mm_opt, G.gas_scc, G.gas_bcc, G.gas_msf, G.gas_rc, G.gas_cl],
+    )
+    def test_inexpressible(self, fn, medium_graph):
+        with pytest.raises(InexpressibleError):
+            fn(medium_graph)
+
+
+class TestAsyncEngine:
+    def test_async_gc_valid_and_cheaper(self, medium_graph):
+        from repro.baselines.gas_apps import gas_gc, gas_gc_async
+
+        sync = gas_gc(medium_graph)
+        asyn = gas_gc_async(medium_graph)
+        assert is_valid_coloring(medium_graph, asyn.values)
+        assert asyn.metrics.total_ops <= sync.metrics.total_ops
+
+    def test_async_cc_matches_sync(self, medium_graph):
+        from repro.baselines.gas_apps import _CC
+
+        fw_sync = GASFramework(medium_graph, 2)
+        fw_async = GASFramework(medium_graph, 2)
+        expected = fw_sync.run(_CC())
+        got = fw_async.run_async(_CC())
+        assert got == expected
+
+    def test_async_update_budget(self):
+        from repro.errors import ReproError
+
+        class Restless(GASProgram):
+            def initial_value(self, vid, graph):
+                return 0
+
+            def keep_active(self, ctx, vid, value):
+                return True
+
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ReproError):
+            GASFramework(g, 1).run_async(Restless(), max_updates=10)
+
+    def test_async_immediate_visibility(self):
+        """A later vertex in the same sweep sees an earlier update —
+        the defining difference from the synchronous engine."""
+
+        class Chain(GASProgram):
+            def initial_value(self, vid, graph):
+                return 1 if vid == 0 else 0
+
+            def gather(self, ctx, vid, value, nbr, nbr_value):
+                return nbr_value
+
+            def accum(self, a, b):
+                return max(a, b)
+
+            def apply(self, ctx, vid, value, acc):
+                return max(value, acc or 0)
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        values = GASFramework(g, 1).run_async(Chain(), label="chain")
+        # One async sweep (processing 0,1,2,3 in order) propagates the 1
+        # down the whole chain; synchronously it would take 3 sweeps.
+        assert values == [1, 1, 1, 1]
+        fw = GASFramework(g, 1)
+        sweep1 = fw.run(Chain(), max_iterations=1)
+        assert sweep1 == [1, 1, 0, 0]

@@ -1,0 +1,188 @@
+"""Tests for the Gemini and Ligra restricted engines and suites."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import Graph, ctrue, join, random_graph
+from repro.baselines.gemini import GeminiFramework
+from repro.baselines.ligra import LigraEngine
+from repro.baselines import gemini_apps as GM
+from repro.baselines import ligra_apps as L
+from repro.errors import InexpressibleError
+from oracles import (
+    cc_labels,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    to_networkx,
+)
+
+
+class TestGeminiRestrictions:
+    def _engine(self):
+        eng = GeminiFramework(Graph.from_edges([(0, 1), (1, 2)]), num_workers=2)
+        eng.add_property("x", 0)
+        return eng
+
+    def test_numeric_properties_allowed(self):
+        eng = self._engine()
+        eng.add_property("y", 1.5)
+        eng.add_property("z", True)
+
+    def test_collection_property_rejected(self):
+        eng = self._engine()
+        with pytest.raises(InexpressibleError):
+            eng.add_property("bag", set())
+        with pytest.raises(InexpressibleError):
+            eng.add_property("lst", factory=list)
+
+    def test_virtual_edges_rejected(self):
+        eng = self._engine()
+        with pytest.raises(InexpressibleError):
+            eng.edge_map(eng.V, join(eng.E, eng.E), ctrue, lambda s, d: d, None, lambda t, d: t)
+
+    def test_arbitrary_get_rejected(self):
+        eng = self._engine()
+        with pytest.raises(InexpressibleError):
+            eng.get(0)
+
+    def test_collect_and_dsu_rejected(self):
+        eng = self._engine()
+        with pytest.raises(InexpressibleError):
+            eng.collect({})
+        with pytest.raises(InexpressibleError):
+            eng.dsu()
+
+    def test_edge_map_requires_reduce(self):
+        eng = self._engine()
+        with pytest.raises(InexpressibleError):
+            eng.edge_map(eng.V, eng.E, ctrue, lambda s, d: d)
+
+    def test_dense_scans_all_edges(self):
+        """Gemini has no C-break: its dense pass charges every in-edge,
+        so it does strictly more work than FLASH's dense kernel."""
+        from repro import FlashEngine
+
+        g = Graph.from_edges([(i, 4) for i in range(4)])
+
+        def run(engine_cls):
+            eng = engine_cls(g, num_workers=1)
+            eng.add_property("x", 0)
+
+            def m(s, d):
+                d.x = d.x + 1
+                return d
+
+            eng.edge_map_dense(eng.V, eng.E, ctrue, m, lambda v: v.x == 0)
+            return eng.metrics.total_ops
+
+        assert run(GeminiFramework) > run(FlashEngine)
+
+
+class TestGeminiApplications:
+    def test_cc(self, medium_graph):
+        oracle = cc_labels(medium_graph)
+        result = GM.gemini_cc(medium_graph)
+        assert result.framework == "gemini"
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_bfs(self, medium_graph):
+        oracle = nx.single_source_shortest_path_length(to_networkx(medium_graph), 0)
+        result = GM.gemini_bfs(medium_graph, 0)
+        assert all(
+            result.values[v] == oracle.get(v, math.inf)
+            for v in range(medium_graph.num_vertices)
+        )
+
+    def test_mis(self, medium_graph):
+        assert is_maximal_independent_set(medium_graph, GM.gemini_mis(medium_graph).values)
+
+    def test_mm(self, medium_graph):
+        assert is_maximal_matching(medium_graph, GM.gemini_mm(medium_graph).values)
+
+    @pytest.mark.parametrize(
+        "fn",
+        [GM.gemini_tc, GM.gemini_gc, GM.gemini_lpa, GM.gemini_kc, GM.gemini_scc,
+         GM.gemini_bcc, GM.gemini_msf, GM.gemini_rc, GM.gemini_cl],
+    )
+    def test_inexpressible(self, fn, medium_graph):
+        with pytest.raises(InexpressibleError):
+            fn(medium_graph)
+
+
+class TestLigraRestrictions:
+    def test_single_node_only(self, medium_graph):
+        with pytest.raises(InexpressibleError):
+            LigraEngine(medium_graph, num_workers=4)
+
+    def test_no_network_traffic(self, medium_graph):
+        result = L.ligra_bfs(medium_graph, 0)
+        assert result.metrics.num_workers == 1
+        assert result.metrics.total_messages == 0
+
+    def test_collection_property_rejected(self, medium_graph):
+        eng = LigraEngine(medium_graph)
+        with pytest.raises(InexpressibleError):
+            eng.add_property("bag", set())
+
+    def test_virtual_edges_rejected(self, medium_graph):
+        eng = LigraEngine(medium_graph)
+        eng.add_property("p", 0)
+        with pytest.raises(InexpressibleError):
+            eng.edge_map(eng.V, join(eng.subset([0]), "p"), ctrue, lambda s, d: d, None, lambda t, d: t)
+
+    def test_target_filtered_edges_allowed(self, medium_graph):
+        eng = LigraEngine(medium_graph)
+        eng.add_property("x", 0)
+
+        def m(s, d):
+            d.x = 1
+            return d
+
+        eng.edge_map(eng.V, join(eng.E, eng.subset([0])), ctrue, m, None, lambda t, d: t)
+
+    def test_adjacency_read(self, medium_graph):
+        eng = LigraEngine(medium_graph)
+        assert list(eng.adjacency(0)) == list(medium_graph.out_neighbors(0))
+
+
+class TestLigraApplications:
+    def test_cc(self, medium_graph):
+        oracle = cc_labels(medium_graph)
+        assert L.ligra_cc(medium_graph).values == [
+            oracle[v] for v in range(medium_graph.num_vertices)
+        ]
+
+    def test_bfs(self, medium_graph):
+        oracle = nx.single_source_shortest_path_length(to_networkx(medium_graph), 0)
+        result = L.ligra_bfs(medium_graph, 0)
+        assert all(
+            result.values[v] == oracle.get(v, math.inf)
+            for v in range(medium_graph.num_vertices)
+        )
+
+    def test_kc(self, medium_graph):
+        oracle = nx.core_number(to_networkx(medium_graph))
+        assert L.ligra_kc(medium_graph).values == [
+            oracle[v] for v in range(medium_graph.num_vertices)
+        ]
+
+    def test_tc(self, medium_graph):
+        expected = sum(nx.triangles(to_networkx(medium_graph)).values()) // 3
+        assert L.ligra_tc(medium_graph).extra["total"] == expected
+
+    def test_mis(self, medium_graph):
+        assert is_maximal_independent_set(medium_graph, L.ligra_mis(medium_graph).values)
+
+    def test_mm(self, medium_graph):
+        assert is_maximal_matching(medium_graph, L.ligra_mm(medium_graph).values)
+
+    @pytest.mark.parametrize(
+        "fn",
+        [L.ligra_gc, L.ligra_lpa, L.ligra_cc_opt, L.ligra_mm_opt, L.ligra_scc,
+         L.ligra_bcc, L.ligra_msf, L.ligra_rc, L.ligra_cl],
+    )
+    def test_inexpressible(self, fn, medium_graph):
+        with pytest.raises(InexpressibleError):
+            fn(medium_graph)

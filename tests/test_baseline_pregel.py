@@ -1,0 +1,253 @@
+"""Tests for the Pregel+ framework mechanics and its algorithm suite."""
+
+import math
+from collections import defaultdict
+
+import networkx as nx
+import pytest
+
+from repro import Graph, random_graph
+from repro.baselines.pregel import PregelContext, PregelFramework, PregelProgram
+from repro.baselines import pregel_apps as P
+from repro.errors import InexpressibleError, ReproError
+from oracles import (
+    cc_labels,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_coloring,
+    to_networkx,
+)
+
+
+class _Echo(PregelProgram):
+    """Each vertex forwards its id once, then halts."""
+
+    def initial_value(self, vid, graph):
+        return []
+
+    def compute(self, ctx, v, messages):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, v.id)
+        else:
+            v.value = sorted(messages)
+        ctx.vote_to_halt()
+
+
+class TestFrameworkMechanics:
+    def test_message_delivery(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        fw = PregelFramework(g, 2)
+        values = fw.run(_Echo())
+        assert values == [[1], [0, 2], [1]]
+
+    def test_halting_terminates(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = PregelFramework(g, 1)
+        fw.run(_Echo())
+        assert fw.metrics.num_supersteps == 2
+
+    def test_max_supersteps_guard(self):
+        class Forever(PregelProgram):
+            def initial_value(self, vid, graph):
+                return 0
+
+            def compute(self, ctx, v, messages):
+                ctx.send_to_neighbors(v, 1)  # never halts
+
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ReproError):
+            PregelFramework(g, 1).run(Forever(), max_supersteps=5)
+
+    def test_combiner_reduces_remote_messages(self):
+        # Vertices 0 and 2 (worker 0) both message vertex 1 (worker 1).
+        g = Graph.from_edges([(0, 1), (2, 1)])
+
+        class Blast(PregelProgram):
+            combiner = staticmethod(min)
+
+            def initial_value(self, vid, graph):
+                return 0
+
+            def compute(self, ctx, v, messages):
+                if ctx.superstep == 0 and v.id != 1:
+                    ctx.send(1, v.id)
+                ctx.vote_to_halt()
+
+        fw = PregelFramework(g, 2)
+        fw.run(Blast())
+        assert fw.metrics.records[0].reduce_messages == 1  # combined
+
+    def test_without_combiner_each_message_counted(self):
+        g = Graph.from_edges([(0, 1), (2, 1)])
+
+        class Blast(PregelProgram):
+            def initial_value(self, vid, graph):
+                return 0
+
+            def compute(self, ctx, v, messages):
+                if ctx.superstep == 0 and v.id != 1:
+                    ctx.send(1, v.id)
+                ctx.vote_to_halt()
+
+        fw = PregelFramework(g, 2)
+        fw.run(Blast())
+        assert fw.metrics.records[0].reduce_messages == 2
+
+    def test_unregistered_aggregator_rejected(self):
+        class Bad(PregelProgram):
+            def initial_value(self, vid, graph):
+                return 0
+
+            def compute(self, ctx, v, messages):
+                ctx.aggregate("nope", 1)
+
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ReproError):
+            PregelFramework(g, 1).run(Bad())
+
+    def test_aggregator_visible_next_superstep(self):
+        seen = {}
+
+        class Agg(PregelProgram):
+            aggregators = {"total": lambda a, b: a + b}
+
+            def initial_value(self, vid, graph):
+                return 0
+
+            def compute(self, ctx, v, messages):
+                if ctx.superstep == 0:
+                    ctx.aggregate("total", v.id)
+                    ctx.send(v.id, "tick")  # keep self alive
+                else:
+                    seen[v.id] = ctx.aggregated("total")
+                ctx.vote_to_halt()
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        PregelFramework(g, 1).run(Agg())
+        assert seen == {0: 3, 1: 3, 2: 3}
+
+    def test_chain_cost_recorded(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = PregelFramework(g, 2)
+        fw.chain_cost("x")
+        assert fw.metrics.records[0].kind == "pregel_chain"
+        assert fw.metrics.records[0].sync_values == g.num_vertices
+
+
+class TestApplications:
+    def test_cc(self, medium_graph):
+        oracle = cc_labels(medium_graph)
+        result = P.pregel_cc(medium_graph)
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_bfs(self, medium_graph):
+        oracle = nx.single_source_shortest_path_length(to_networkx(medium_graph), 0)
+        result = P.pregel_bfs(medium_graph, 0)
+        assert all(
+            result.values[v] == oracle.get(v, math.inf)
+            for v in range(medium_graph.num_vertices)
+        )
+
+    def test_bc_matches_networkx(self):
+        g = random_graph(12, 20, seed=7)
+        total = [0.0] * 12
+        for root in range(12):
+            r = P.pregel_bc(g, root=root)
+            for v in range(12):
+                total[v] += r.values[v]
+        oracle = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        assert all(abs(total[v] / 2 - oracle[v]) < 1e-6 for v in range(12))
+
+    def test_mis(self, medium_graph):
+        result = P.pregel_mis(medium_graph)
+        assert is_maximal_independent_set(medium_graph, result.values)
+
+    def test_mm(self, medium_graph):
+        result = P.pregel_mm(medium_graph)
+        assert is_maximal_matching(medium_graph, result.values)
+
+    def test_kc(self, medium_graph):
+        oracle = nx.core_number(to_networkx(medium_graph))
+        result = P.pregel_kc(medium_graph)
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_tc(self, medium_graph):
+        expected = sum(nx.triangles(to_networkx(medium_graph)).values()) // 3
+        assert P.pregel_tc(medium_graph).extra["total"] == expected
+
+    def test_gc(self, medium_graph):
+        result = P.pregel_gc(medium_graph)
+        assert is_valid_coloring(medium_graph, result.values)
+
+    def test_scc(self, directed_graph):
+        nxg = to_networkx(directed_graph)
+        oracle = {v: min(c) for c in nx.strongly_connected_components(nxg) for v in c}
+        result = P.pregel_scc(directed_graph)
+        assert result.values == [oracle[v] for v in range(6)]
+
+    def test_msf(self):
+        g = random_graph(25, 60, seed=4).with_random_weights(seed=1)
+        nxg = to_networkx(g)
+        expected = sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(nxg, data=True))
+        result = P.pregel_msf(g)
+        assert result.extra["total_weight"] == pytest.approx(expected)
+
+    def test_bcc(self, two_triangles):
+        result = P.pregel_bcc(two_triangles)
+        groups = defaultdict(set)
+        for e, lab in result.extra["edge_groups"].items():
+            groups[lab].add(frozenset(e))
+        mine = {frozenset(g) for g in groups.values()}
+        oracle = {
+            frozenset(frozenset(e) for e in comp)
+            for comp in nx.biconnected_component_edges(to_networkx(two_triangles))
+        }
+        assert mine == oracle
+
+    def test_lpa_runs(self, medium_graph):
+        result = P.pregel_lpa(medium_graph, max_iters=5)
+        assert len(result.values) == medium_graph.num_vertices
+
+    def test_rc_cl_inexpressible(self, medium_graph):
+        with pytest.raises(InexpressibleError):
+            P.pregel_rc(medium_graph)
+        with pytest.raises(InexpressibleError):
+            P.pregel_cl(medium_graph)
+
+    def test_bc_charges_chain_cost(self, medium_graph):
+        result = P.pregel_bc(medium_graph, 0)
+        assert any(r.kind == "pregel_chain" for r in result.metrics.records)
+
+
+class TestHalfCircleVariants:
+    """Pregel's awkward optimized variants (Table I half circles)."""
+
+    def test_cc_opt_correct(self, medium_graph):
+        oracle = cc_labels(medium_graph)
+        result = P.pregel_cc_opt(medium_graph)
+        assert result.values == [oracle[v] for v in range(medium_graph.num_vertices)]
+
+    def test_cc_opt_pays_roundtrip_overhead(self, medium_graph):
+        """The paper's half circle: expressible 'at the cost of
+        performance' — on small-diameter graphs the chained hook/jump
+        pipeline needs more supersteps than plain label propagation."""
+        basic = P.pregel_cc(medium_graph)
+        opt = P.pregel_cc_opt(medium_graph)
+        assert opt.metrics.num_supersteps > basic.metrics.num_supersteps
+
+    def test_cc_opt_on_road_network(self):
+        from repro import road_network
+
+        g = road_network(14, 14, seed=2)
+        oracle = cc_labels(g)
+        result = P.pregel_cc_opt(g)
+        assert result.values == [oracle[v] for v in range(g.num_vertices)]
+
+    def test_mm_opt_valid_and_maximal(self, medium_graph):
+        result = P.pregel_mm_opt(medium_graph)
+        assert is_maximal_matching(medium_graph, result.values)
+
+    def test_mm_opt_on_multiple_seeds(self):
+        for seed in range(4):
+            g = random_graph(25, 55, seed=seed)
+            assert is_maximal_matching(g, P.pregel_mm_opt(g).values), seed

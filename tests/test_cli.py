@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "soc-orkut" in out and "road-USA" in out
+        assert "frameworks: pregel, gas, gemini, ligra, flash" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "bfs", "OR", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs on OR" in out
+        assert "simulated time" in out
+
+    def test_run_directed_app(self, capsys):
+        assert main(["run", "scc", "OR", "--scale", "0.08"]) == 0
+        assert "scc on OR" in capsys.readouterr().out
+
+    def test_compare_shows_inexpressible(self, capsys):
+        assert main(["compare", "gc", "OR", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "inexpressible" in out  # Gemini and Ligra cannot do GC
+        assert "flash" in out
+
+    def test_lloc(self, capsys):
+        assert main(["lloc"]) == 0
+        out = capsys.readouterr().out
+        assert "cc_basic" in out and "bcc" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "frobnicate", "OR"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "bfs", "ZZ"])
+
+
+class TestBetweennessAllSources:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro import random_graph
+        from repro.algorithms import betweenness_centrality
+
+        g = random_graph(11, 18, seed=4)
+        nxg = nx.Graph(g.edges())
+        nxg.add_nodes_from(range(11))
+        result = betweenness_centrality(g)
+        oracle = nx.betweenness_centrality(nxg, normalized=False)
+        for v in range(11):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)
+
+    def test_normalized(self):
+        import networkx as nx
+
+        from repro import random_graph
+        from repro.algorithms import betweenness_centrality
+
+        g = random_graph(11, 18, seed=4)
+        nxg = nx.Graph(g.edges())
+        nxg.add_nodes_from(range(11))
+        result = betweenness_centrality(g, normalized=True)
+        oracle = nx.betweenness_centrality(nxg, normalized=True)
+        for v in range(11):
+            assert result.values[v] == pytest.approx(oracle[v], abs=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for the analytic cost model."""
+
+import pytest
+
+from repro.runtime.cluster import ClusterSpec, PAPER_CLUSTER, SINGLE_NODE
+from repro.runtime.costmodel import CostBreakdown, CostModel, CostParams, amdahl_speedup
+from repro.runtime.metrics import Metrics
+
+
+def make_metrics(workers=4, ops=10000, sync_msgs=10, sync_vals=100):
+    m = Metrics(workers)
+    rec = m.new_record("edge_map_sparse")
+    rec.worker_ops = [ops] * workers
+    rec.sync_messages = sync_msgs
+    rec.sync_values = sync_vals
+    rec.reduce_messages = sync_msgs
+    rec.reduce_values = sync_vals
+    return m
+
+
+class TestCluster:
+    def test_paper_cluster(self):
+        assert PAPER_CLUSTER.nodes == 4
+        assert PAPER_CLUSTER.cores_per_node == 32
+        assert PAPER_CLUSTER.total_cores == 128
+        assert PAPER_CLUSTER.distributed
+
+    def test_single_node_not_distributed(self):
+        assert not SINGLE_NODE.distributed
+        assert SINGLE_NODE.num_workers == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(cores_per_node=0)
+
+
+class TestAmdahl:
+    def test_single_core(self):
+        assert amdahl_speedup(1, 0.9) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        speeds = [amdahl_speedup(c, 0.9) for c in (1, 2, 4, 8, 16, 32)]
+        assert speeds == sorted(speeds)
+
+    def test_matches_paper_fig4b_shape(self):
+        """p = 0.9 reproduces the paper's TC-on-TW intra-node speedups
+        (1.8/2.9/4.7/6.7/7.5) within a loose tolerance."""
+        paper = {2: 1.8, 4: 2.9, 8: 4.7, 16: 6.7, 32: 7.5}
+        for cores, expected in paper.items():
+            got = amdahl_speedup(cores, 0.9)
+            assert got == pytest.approx(expected, rel=0.25)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0, 0.9)
+
+
+class TestEstimates:
+    def test_breakdown_components_positive(self):
+        model = CostModel()
+        cost = model.estimate(make_metrics(), PAPER_CLUSTER)
+        assert cost.compute > 0
+        assert cost.serialization > 0
+        assert cost.other > 0
+        assert cost.total == pytest.approx(
+            cost.compute + cost.communication + cost.serialization + cost.other
+        )
+
+    def test_single_node_no_communication(self):
+        model = CostModel()
+        metrics = make_metrics(workers=1)
+        cost = model.estimate(metrics, ClusterSpec(nodes=1, cores_per_node=8))
+        assert cost.communication == 0.0
+        assert cost.serialization == 0.0
+
+    def test_worker_mismatch_rejected(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.estimate(make_metrics(workers=4), ClusterSpec(nodes=2))
+
+    def test_more_cores_is_faster(self):
+        model = CostModel()
+        metrics = make_metrics()
+        slow = model.seconds(metrics, ClusterSpec(nodes=4, cores_per_node=1))
+        fast = model.seconds(metrics, ClusterSpec(nodes=4, cores_per_node=32))
+        assert fast < slow
+
+    def test_more_work_costs_more(self):
+        model = CostModel()
+        small = model.seconds(make_metrics(ops=1000), PAPER_CLUSTER)
+        big = model.seconds(make_metrics(ops=1_000_000), PAPER_CLUSTER)
+        assert big > small
+
+    def test_overlap_never_slower(self):
+        metrics = make_metrics(sync_msgs=1000, sync_vals=100000)
+        overlapped = CostModel(CostParams(overlap=True)).seconds(metrics, PAPER_CLUSTER)
+        exposed = CostModel(CostParams(overlap=False)).seconds(metrics, PAPER_CLUSTER)
+        assert overlapped <= exposed
+
+    def test_with_params_override(self):
+        model = CostModel().with_params(sec_per_op=1.0)
+        assert model.params.sec_per_op == 1.0
+
+    def test_breakdown_addition(self):
+        a = CostBreakdown(1, 2, 3, 4)
+        b = CostBreakdown(10, 20, 30, 40)
+        c = a + b
+        assert (c.compute, c.communication, c.serialization, c.other) == (11, 22, 33, 44)
+
+    def test_fractions_sum_to_one(self):
+        cost = CostModel().estimate(make_metrics(), PAPER_CLUSTER)
+        assert sum(cost.fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions_of_zero(self):
+        assert sum(CostBreakdown().fractions().values()) == 0.0
+
+    def test_bsp_waits_for_slowest_worker(self):
+        m = Metrics(2)
+        rec = m.new_record("x")
+        rec.worker_ops = [100, 100000]
+        balanced = Metrics(2)
+        rec2 = balanced.new_record("x")
+        rec2.worker_ops = [50050, 50050]
+        model = CostModel()
+        cluster = ClusterSpec(nodes=2, cores_per_node=4)
+        # Equal total work but the imbalanced run is slower.
+        assert model.seconds(m, cluster) > model.seconds(balanced, cluster)

@@ -1,0 +1,134 @@
+"""Unit tests for the CSR adjacency structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSR
+
+
+def make(num_vertices, arcs):
+    src = [s for s, _ in arcs]
+    dst = [d for _, d in arcs]
+    return CSR.from_arcs(num_vertices, src, dst)
+
+
+class TestConstruction:
+    def test_empty(self):
+        csr = make(3, [])
+        assert csr.num_vertices == 3
+        assert csr.num_arcs == 0
+        assert list(csr.neighbors(0)) == []
+
+    def test_basic_counts(self):
+        csr = make(4, [(0, 1), (0, 2), (1, 2), (3, 0)])
+        assert csr.num_vertices == 4
+        assert csr.num_arcs == 4
+        assert csr.degree(0) == 2
+        assert csr.degree(1) == 1
+        assert csr.degree(2) == 0
+        assert csr.degree(3) == 1
+
+    def test_neighbors_sorted(self):
+        csr = make(3, [(0, 2), (0, 1), (0, 0)])
+        assert list(csr.neighbors(0)) == [0, 1, 2]
+
+    def test_degrees_array(self):
+        csr = make(3, [(0, 1), (0, 2), (2, 0)])
+        assert list(csr.degrees()) == [2, 0, 1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CSR.from_arcs(2, [0], [1, 0])
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            make(2, [(2, 0)])
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(ValueError):
+            make(2, [(0, 5)])
+
+    def test_parallel_arcs_kept(self):
+        csr = make(2, [(0, 1), (0, 1)])
+        assert csr.num_arcs == 2
+        assert list(csr.neighbors(0)) == [1, 1]
+
+
+class TestQueries:
+    def test_has_arc(self):
+        csr = make(4, [(0, 1), (0, 3), (2, 0)])
+        assert csr.has_arc(0, 1)
+        assert csr.has_arc(0, 3)
+        assert not csr.has_arc(0, 2)
+        assert not csr.has_arc(1, 0)
+
+    def test_iter_arcs_order(self):
+        arcs = [(1, 0), (0, 2), (0, 1)]
+        csr = make(3, arcs)
+        assert list(csr.iter_arcs()) == [(0, 1), (0, 2), (1, 0)]
+
+    def test_neighbor_arcs_map_back_to_input(self):
+        arcs = [(0, 2), (0, 1), (1, 0)]
+        csr = make(3, arcs)
+        nbrs, arc_ids = csr.neighbor_arcs(0)
+        for n, a in zip(nbrs, arc_ids):
+            assert arcs[int(a)] == (0, int(n))
+
+
+class TestReversed:
+    def test_reversed_adjacency(self):
+        csr = make(3, [(0, 1), (0, 2), (1, 2)])
+        rev = csr.reversed()
+        assert list(rev.neighbors(1)) == [0]
+        assert list(rev.neighbors(2)) == [0, 1]
+        assert list(rev.neighbors(0)) == []
+
+    def test_reversed_preserves_arc_ids(self):
+        arcs = [(0, 1), (2, 1), (1, 0)]
+        csr = make(3, arcs)
+        rev = csr.reversed()
+        nbrs, arc_ids = rev.neighbor_arcs(1)
+        for n, a in zip(nbrs, arc_ids):
+            assert arcs[int(a)] == (int(n), 1)
+
+    def test_double_reverse_is_identity(self):
+        csr = make(5, [(0, 1), (2, 3), (4, 0), (1, 1)])
+        back = csr.reversed().reversed()
+        for v in range(5):
+            assert list(back.neighbors(v)) == list(csr.neighbors(v))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 20).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=60),
+        )
+    )
+)
+def test_arc_multiset_preserved(case):
+    """Property: CSR stores exactly the input arc multiset."""
+    n, arcs = case
+    csr = make(n, arcs)
+    assert sorted(csr.iter_arcs()) == sorted(arcs)
+    assert csr.num_arcs == len(arcs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 15).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=40),
+        )
+    )
+)
+def test_reverse_is_transpose(case):
+    """Property: reversed() arcs are exactly the transposed arcs."""
+    n, arcs = case
+    csr = make(n, arcs)
+    rev = csr.reversed()
+    assert sorted(rev.iter_arcs()) == sorted((d, s) for s, d in arcs)

@@ -1,0 +1,94 @@
+"""Tests for the disjoint-set helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DSU
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        d = DSU(5)
+        assert d.num_components == 5
+        assert len(d) == 5
+        assert all(d.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        d = DSU(4)
+        assert d.union(0, 1)
+        assert d.same(0, 1)
+        assert d.num_components == 3
+
+    def test_union_idempotent(self):
+        d = DSU(3)
+        d.union(0, 1)
+        assert not d.union(1, 0)
+        assert d.num_components == 2
+
+    def test_transitive(self):
+        d = DSU(5)
+        d.union(0, 1)
+        d.union(1, 2)
+        assert d.same(0, 2)
+        assert not d.same(0, 3)
+
+    def test_components_partition(self):
+        d = DSU(6)
+        d.union(0, 1)
+        d.union(2, 3)
+        comps = d.components()
+        members = sorted(v for group in comps.values() for v in group)
+        assert members == list(range(6))
+        assert len(comps) == 4
+
+    def test_roots(self):
+        d = DSU(4)
+        d.union(0, 1)
+        assert len(list(d.roots())) == 3
+
+    def test_labels_consistent(self):
+        d = DSU(4)
+        d.union(2, 3)
+        labels = d.labels()
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DSU(-1)
+
+    def test_empty(self):
+        d = DSU(0)
+        assert d.num_components == 0
+        assert d.labels() == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 30),
+    unions=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_matches_naive_partition(n, unions):
+    """Property: DSU equivalence classes match a naive merge-by-set
+    implementation."""
+    d = DSU(n)
+    naive = [{i} for i in range(n)]
+
+    def naive_find(x):
+        for group in naive:
+            if x in group:
+                return group
+        raise AssertionError
+
+    for a, b in unions:
+        a, b = a % n, b % n
+        d.union(a, b)
+        ga, gb = naive_find(a), naive_find(b)
+        if ga is not gb:
+            ga |= gb
+            naive.remove(gb)
+    for a in range(n):
+        for b in range(n):
+            assert d.same(a, b) == (naive_find(a) is naive_find(b))
+    assert d.num_components == len(naive)

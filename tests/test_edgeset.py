@@ -1,0 +1,178 @@
+"""Tests for edge sets, including virtual (beyond-neighborhood) ones."""
+
+import pytest
+
+from repro import FlashEngine, Graph, edges_from, join, reverse
+from repro.core.edgeset import (
+    BaseEdges,
+    PropertyEdges,
+    ReverseEdges,
+    SourceFilteredEdges,
+    TargetFilteredEdges,
+    TwoHopEdges,
+)
+from repro.errors import FlashUsageError
+
+
+@pytest.fixture
+def engine():
+    # Directed: 0->1, 0->2, 1->3, 2->3, 3->4
+    g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], directed=True)
+    eng = FlashEngine(g, num_workers=2)
+    eng.add_property("p", 0)
+    return eng
+
+
+class TestBaseEdges:
+    def test_out_targets(self, engine):
+        E = engine.E
+        assert list(E.out_targets(engine, 0)) == [1, 2]
+        assert list(E.out_targets(engine, 4)) == []
+
+    def test_in_sources(self, engine):
+        E = engine.E
+        assert list(E.in_sources(engine, 3)) == [1, 2]
+
+    def test_within_graph(self, engine):
+        assert engine.E.within_graph
+
+    def test_out_work(self, engine):
+        assert engine.E.out_work(engine, engine.subset([0, 3])) == 3
+
+
+class TestReverse:
+    def test_swaps_directions(self, engine):
+        R = reverse(engine.E)
+        assert list(R.out_targets(engine, 3)) == [1, 2]
+        assert list(R.in_sources(engine, 1)) == [3]
+
+    def test_double_reverse_unwraps(self, engine):
+        assert reverse(reverse(engine.E)) is engine.E
+
+    def test_stays_within_graph(self, engine):
+        assert reverse(engine.E).within_graph
+
+
+class TestJoinDispatch:
+    def test_join_e_e_is_two_hop(self, engine):
+        assert isinstance(join(engine.E, engine.E), TwoHopEdges)
+
+    def test_join_e_subset_filters_targets(self, engine):
+        es = join(engine.E, engine.subset([1]))
+        assert isinstance(es, TargetFilteredEdges)
+        assert list(es.out_targets(engine, 0)) == [1]
+        assert list(es.in_sources(engine, 2)) == []
+        assert list(es.in_sources(engine, 1)) == [0]
+
+    def test_join_subset_e_filters_sources(self, engine):
+        es = join(engine.subset([0]), engine.E)
+        assert isinstance(es, SourceFilteredEdges)
+        assert list(es.out_targets(engine, 0)) == [1, 2]
+        assert list(es.out_targets(engine, 1)) == []
+        assert list(es.in_sources(engine, 3)) == []
+
+    def test_join_subset_property(self, engine):
+        es = join(engine.subset([1, 2]), "p")
+        assert isinstance(es, PropertyEdges)
+
+    def test_join_property_subset_is_reverse(self, engine):
+        es = join("p", engine.subset([1]))
+        assert isinstance(es, ReverseEdges)
+
+    def test_invalid_join_rejected(self, engine):
+        with pytest.raises(FlashUsageError):
+            join(3, engine.E)
+        with pytest.raises(FlashUsageError):
+            join(reverse(engine.E), engine.E)
+
+
+class TestTwoHop:
+    def test_enumerates_two_hop_targets(self, engine):
+        th = TwoHopEdges()
+        assert list(th.out_targets(engine, 0)) == [3]  # via 1 and 2, deduped
+        assert list(th.out_targets(engine, 1)) == [4]
+
+    def test_in_sources(self, engine):
+        th = TwoHopEdges()
+        assert list(th.in_sources(engine, 3)) == [0]
+        assert list(th.in_sources(engine, 4)) == [1, 2]
+
+    def test_excludes_self(self):
+        g = Graph.from_edges([(0, 1)], directed=False)  # 0-1 both ways
+        eng = FlashEngine(g, num_workers=1)
+        assert list(TwoHopEdges().out_targets(eng, 0)) == []
+
+    def test_is_virtual(self, engine):
+        assert not TwoHopEdges().within_graph
+
+
+class TestPropertyEdges:
+    def _prep(self, engine, values):
+        for vid, val in values.items():
+            engine.flashware.state.set(vid, "p", val)
+        es = join(engine.subset(list(values)), "p")
+        es.prepare(engine)
+        return es
+
+    def test_points_to_property_value(self, engine):
+        es = self._prep(engine, {1: 4, 2: 0})
+        assert list(es.out_targets(engine, 1)) == [4]
+        assert list(es.in_sources(engine, 4)) == [1]
+        assert list(es.in_sources(engine, 0)) == [2]
+
+    def test_out_of_range_value_gives_no_edge(self, engine):
+        es = self._prep(engine, {1: 999})
+        assert list(es.out_targets(engine, 1)) == []
+
+    def test_non_int_value_gives_no_edge(self, engine):
+        es = self._prep(engine, {1: float("inf")})
+        assert list(es.out_targets(engine, 1)) == []
+
+    def test_candidate_targets_restricted(self, engine):
+        es = self._prep(engine, {1: 4, 2: 4})
+        assert list(es.candidate_targets(engine)) == [4]
+
+    def test_prepare_resnapshots(self, engine):
+        es = self._prep(engine, {1: 4})
+        engine.flashware.state.set(1, "p", 0)
+        es.prepare(engine)
+        assert list(es.out_targets(engine, 1)) == [0]
+
+    def test_is_virtual(self, engine):
+        assert not join(engine.subset([1]), "p").within_graph
+
+
+class TestMappedTargets:
+    def test_maps_through_property(self, engine):
+        # join(join(U, p), p): u -> p(p(u))
+        engine.flashware.state.set(0, "p", 1)
+        engine.flashware.state.set(1, "p", 3)
+        es = join(join(engine.subset([0]), "p"), "p")
+        es.prepare(engine)
+        assert list(es.out_targets(engine, 0)) == [3]
+
+    def test_join_edges_with_property(self, engine):
+        # join(E, p): (s, d) in E becomes (s, p(d)).
+        engine.flashware.state.set(1, "p", 4)
+        engine.flashware.state.set(2, "p", 4)
+        es = join(engine.E, "p")
+        es.prepare(engine)
+        assert list(es.out_targets(engine, 0)) == [4, 4]
+
+    def test_in_sources_via_scan(self, engine):
+        engine.flashware.state.set(1, "p", 4)
+        es = join(engine.E, "p")
+        es.prepare(engine)
+        assert 0 in list(es.in_sources(engine, 4))
+
+
+class TestFunctionEdges:
+    def test_user_function(self, engine):
+        es = edges_from(lambda e, s: [(s + 2) % 5], name="shift")
+        assert list(es.out_targets(engine, 0)) == [2]
+        assert 0 in list(es.in_sources(engine, 2))
+        assert not es.within_graph
+
+    def test_single_arg_function(self, engine):
+        es = edges_from(lambda s: [0])
+        assert list(es.out_targets(engine, 3)) == [0]

@@ -1,0 +1,80 @@
+"""Stateful property test: a random sequence of FLASH kernel calls must
+keep the engine's committed state identical to a plain-Python reference
+model executing the same BSP semantics."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro import FlashEngine, ctrue, random_graph
+
+N = 12
+
+
+class EngineModel(RuleBasedStateMachine):
+    """Drives vertex_map / edge_map (both kernels) with simple numeric
+    updates against a dict-based reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = random_graph(N, 24, seed=9)
+        self.engine = FlashEngine(self.graph, num_workers=3)
+        self.engine.add_property("x", 0)
+        self.reference = [0] * N
+
+    @rule(delta=st.integers(-5, 5), lo=st.integers(0, N - 1), hi=st.integers(0, N - 1))
+    def vertex_map_add(self, delta, lo, hi):
+        members = [v for v in range(min(lo, hi), max(lo, hi) + 1)]
+        subset = self.engine.subset(members)
+
+        def bump(v, d=delta):
+            v.x = v.x + d
+            return v
+
+        self.engine.vertex_map(subset, ctrue, bump)
+        for v in members:
+            self.reference[v] += delta
+
+    @rule(frontier=st.sets(st.integers(0, N - 1), min_size=1))
+    def edge_map_sparse_max(self, frontier):
+        subset = self.engine.subset(frontier)
+
+        def push(s, d):
+            d.x = max(d.x, s.x + 1)
+            return d
+
+        def fold(t, d):
+            d.x = max(d.x, t.x)
+            return d
+
+        self.engine.edge_map_sparse(subset, self.engine.E, ctrue, push, None, fold)
+        snapshot = list(self.reference)
+        for u in frontier:
+            for w in self.graph.out_neighbors(u):
+                w = int(w)
+                self.reference[w] = max(self.reference[w], snapshot[u] + 1)
+
+    @rule(frontier=st.sets(st.integers(0, N - 1), min_size=1))
+    def edge_map_dense_min(self, frontier):
+        subset = self.engine.subset(frontier)
+
+        def pull(s, d):
+            d.x = min(d.x, s.x)
+            return d
+
+        self.engine.edge_map_dense(subset, self.engine.E, ctrue, pull)
+        snapshot = list(self.reference)
+        for v in range(N):
+            for u in self.graph.in_neighbors(v):
+                u = int(u)
+                if u in frontier:
+                    self.reference[v] = min(self.reference[v], snapshot[u])
+
+    @invariant()
+    def states_agree(self):
+        assert self.engine.values("x") == self.reference
+
+
+TestEngineStateful = EngineModel.TestCase
+TestEngineStateful.settings = settings(max_examples=25, stateful_step_count=12, deadline=None)

@@ -1,0 +1,161 @@
+"""Tests for the infrastructure extensions: RMAT/bipartite/complete/star
+generators, adjacency-list/METIS I/O, sampled betweenness, and the
+execution explainer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import random_graph
+from repro.algorithms import bc_approx, betweenness_centrality, bfs, bipartite
+from repro.analysis import explain, hotspots
+from repro.graph import (
+    Graph,
+    bipartite_graph,
+    complete_graph,
+    read_adjacency_list,
+    read_metis,
+    rmat_graph,
+    star_graph,
+    write_adjacency_list,
+    write_metis,
+)
+from oracles import to_networkx
+
+
+class TestGeneratorsExtra:
+    def test_rmat_sizes(self):
+        g = rmat_graph(6, edge_factor=4, seed=1)
+        assert g.num_vertices == 64
+        assert 0 < g.num_edges <= 4 * 64
+
+    def test_rmat_deterministic(self):
+        assert rmat_graph(5, seed=3).edges() == rmat_graph(5, seed=3).edges()
+
+    def test_rmat_skewed(self):
+        g = rmat_graph(8, edge_factor=8, seed=0)
+        degs = sorted(g.degrees(), reverse=True)
+        assert degs[0] > 4 * max(np.median(degs), 1)
+
+    def test_rmat_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.6, b=0.3, c=0.3)
+
+    def test_bipartite_is_bipartite(self):
+        g = bipartite_graph(10, 15, avg_degree=3, seed=2)
+        assert g.num_vertices == 25
+        assert bipartite(g).extra["is_bipartite"]
+
+    def test_bipartite_sides_disjoint(self):
+        g = bipartite_graph(5, 5, avg_degree=2, seed=0)
+        for s, d in g.edges():
+            assert (s < 5) != (d < 5)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(d == 5 for d in g.degrees())
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+
+class TestIOFormats:
+    def test_adjacency_round_trip(self, tmp_path):
+        g = random_graph(15, 30, seed=1)
+        path = tmp_path / "g.adj"
+        write_adjacency_list(g, path)
+        back = read_adjacency_list(path)
+        assert sorted((min(e), max(e)) for e in back.edges()) == sorted(
+            (min(e), max(e)) for e in g.edges()
+        )
+
+    def test_adjacency_directed_round_trip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (2, 0), (1, 2)], directed=True)
+        path = tmp_path / "g.adj"
+        write_adjacency_list(g, path)
+        back = read_adjacency_list(path, directed=True)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_adjacency_duplicates_collapsed(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("0 1\n1 0\n")
+        g = read_adjacency_list(path)
+        assert g.num_edges == 1
+
+    def test_metis_round_trip(self, tmp_path):
+        g = random_graph(12, 20, seed=4)
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.num_vertices == g.num_vertices
+        assert sorted((min(e), max(e)) for e in back.edges()) == sorted(
+            (min(e), max(e)) for e in g.edges()
+        )
+
+    def test_metis_rejects_directed(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            write_metis(g, tmp_path / "g.metis")
+
+    def test_metis_rejects_bad_counts(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 5\n2\n1\n\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_metis_rejects_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1\n9\n\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+
+class TestBCApprox:
+    def test_full_sampling_is_exact(self):
+        g = random_graph(15, 30, seed=2)
+        exact = betweenness_centrality(g).values
+        approx = bc_approx(g, samples=15, seed=0).values
+        for a, e in zip(approx, exact):
+            assert a == pytest.approx(e, abs=1e-9)
+
+    def test_partial_sampling_correlates(self):
+        g = random_graph(30, 80, seed=5)
+        exact = betweenness_centrality(g).values
+        approx = bc_approx(g, samples=12, seed=1).values
+        corr = np.corrcoef(approx, exact)[0, 1]
+        assert corr > 0.6
+
+    def test_deterministic_given_seed(self):
+        g = random_graph(12, 20, seed=3)
+        assert bc_approx(g, samples=4, seed=7).values == bc_approx(g, samples=4, seed=7).values
+
+    def test_pivots_recorded(self):
+        g = random_graph(12, 20, seed=3)
+        result = bc_approx(g, samples=4, seed=7)
+        assert len(result.extra["pivots"]) == 4
+
+
+class TestExplain:
+    def test_trace_contains_labels_and_totals(self, medium_graph):
+        result = bfs(medium_graph, root=0)
+        text = explain(result.engine.metrics)
+        assert "bfs:init" in text
+        assert "totals:" in text
+        assert "mode choices" in text
+
+    def test_limit_drops_fast_steps(self, medium_graph):
+        result = bfs(medium_graph, root=0)
+        text = explain(result.engine.metrics, limit=2)
+        assert "omitted" in text
+
+    def test_hotspots_ranked_by_ops(self, medium_graph):
+        result = bfs(medium_graph, root=0)
+        spots = hotspots(result.engine.metrics, top=3)
+        assert spots[0]["label"] == "bfs:step"
+        ops = [s["ops"] for s in spots]
+        assert ops == sorted(ops, reverse=True)

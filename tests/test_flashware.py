@@ -1,0 +1,174 @@
+"""Tests for the FLASHWARE middleware: superstep lifecycle, barrier
+accounting, critical-property sync and the §IV-C optimizations."""
+
+import pytest
+
+from repro import Graph, FlashwareOptions
+from repro.runtime.flashware import Flashware, values_equal
+
+
+@pytest.fixture
+def fw():
+    # Path 0-1-2-3 over 2 workers (hash): owners 0,1,0,1.
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    f = Flashware(g, num_workers=2)
+    f.state.add_property("x", 0)
+    f.state.add_property("y", 0)
+    return f
+
+
+class TestLifecycle:
+    def test_begin_and_barrier(self, fw):
+        fw.begin_superstep("vertex_map", frontier_in=4)
+        changed = fw.barrier({0: {"x": 5}}, frontier_out=1)
+        assert changed == {0}
+        assert fw.state.get(0, "x") == 5
+        rec = fw.metrics.records[0]
+        assert rec.frontier_in == 4 and rec.frontier_out == 1
+
+    def test_nested_superstep_rejected(self, fw):
+        fw.begin_superstep("vertex_map")
+        with pytest.raises(RuntimeError):
+            fw.begin_superstep("vertex_map")
+
+    def test_barrier_without_begin_rejected(self, fw):
+        with pytest.raises(RuntimeError):
+            fw.barrier({})
+
+    def test_abort_allows_new_superstep(self, fw):
+        fw.begin_superstep("vertex_map")
+        fw.abort_superstep()
+        fw.begin_superstep("vertex_map")  # should not raise
+        fw.barrier({})
+
+    def test_unchanged_value_not_committed(self, fw):
+        fw.begin_superstep("vertex_map")
+        changed = fw.barrier({0: {"x": 0}})  # same as current
+        assert changed == set()
+
+    def test_charge_ops(self, fw):
+        fw.begin_superstep("vertex_map")
+        fw.charge_ops(0, 3)
+        fw.charge_ops(1, 2)
+        fw.barrier({})
+        assert fw.metrics.records[0].worker_ops == [3, 2]
+
+    def test_get_returns_row(self, fw):
+        assert fw.get(2) == {"x": 0, "y": 0}
+
+
+class TestSyncAccounting:
+    def test_no_sync_for_noncritical(self, fw):
+        fw.note_analyzed(["x"])
+        fw.begin_superstep("vertex_map")
+        fw.barrier({1: {"x": 9}})
+        rec = fw.metrics.records[0]
+        assert rec.sync_messages == 0
+
+    def test_sync_for_critical_to_necessary_mirrors(self, fw):
+        fw.begin_superstep("edge_map_sparse")
+        fw.mark_critical(["x"])
+        fw.barrier({1: {"x": 9}})
+        rec = fw.metrics.records[0]
+        # vertex 1 (worker 1) has neighbors 0, 2 on worker 0 -> 1 mirror.
+        assert rec.sync_messages == 1
+        assert rec.sync_values == 1
+
+    def test_broadcast_all_hits_every_partition(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        fw = Flashware(g, num_workers=4)
+        fw.state.add_property("x", 0)
+        fw.begin_superstep("edge_map_sparse")
+        fw.mark_critical(["x"])
+        fw.barrier({0: {"x": 1}}, broadcast_all=True)
+        assert fw.metrics.records[0].sync_messages == 3  # all other workers
+
+    def test_sync_all_when_critical_only_disabled(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = Flashware(g, num_workers=2, options=FlashwareOptions(sync_critical_only=False))
+        fw.state.add_property("x", 0)
+        fw.begin_superstep("vertex_map")
+        fw.barrier({0: {"x": 1}})
+        assert fw.metrics.records[0].sync_messages == 1
+
+    def test_reduce_round_counts_remote_contributors(self, fw):
+        fw.begin_superstep("edge_map_sparse")
+        fw.barrier({0: {"x": 3}}, contributors={0: {0, 1}})
+        rec = fw.metrics.records[0]
+        assert rec.reduce_messages == 1  # only worker 1 is remote for vertex 0
+
+    def test_local_contributor_free(self, fw):
+        fw.begin_superstep("edge_map_sparse")
+        fw.barrier({0: {"x": 3}}, contributors={0: {0}})
+        assert fw.metrics.records[0].reduce_messages == 0
+
+
+class TestCriticalMarking:
+    def test_mark_unknown_property_rejected(self, fw):
+        with pytest.raises(KeyError):
+            fw.mark_critical(["zzz"])
+
+    def test_idempotent(self, fw):
+        fw.mark_critical(["x"])
+        fw.mark_critical(["x"])
+        assert fw.critical_properties == {"x"}
+        assert fw.is_critical("x") and not fw.is_critical("y")
+
+    def test_late_promotion_pays_unsynced_debt(self, fw):
+        # Change x on vertices 0 and 2 while it is non-critical: nothing
+        # is synced, but the debt is remembered.
+        fw.begin_superstep("vertex_map")
+        fw.barrier({0: {"x": 1}, 2: {"x": 2}})
+        assert fw.metrics.records[0].sync_messages == 0
+        # Promotion pays exactly those vertices' mirror syncs.
+        fw.begin_superstep("edge_map_dense")
+        fw.mark_critical(["x"])
+        fw.barrier({})
+        rec = fw.metrics.records[1]
+        # Vertices 0 and 2 (worker 0) each have one mirror on worker 1.
+        assert rec.sync_messages == 2
+        assert rec.sync_values == 2
+
+    def test_fresh_property_no_catchup(self, fw):
+        fw.begin_superstep("edge_map_dense")
+        fw.mark_critical(["x"])  # no unsynced changes exist
+        fw.barrier({})
+        assert fw.metrics.records[0].sync_messages == 0
+
+    def test_collection_payload_counted(self):
+        g = Graph.from_edges([(0, 1)])
+        fw = Flashware(g, num_workers=2)
+        fw.state.add_property("bag", set())
+        fw.begin_superstep("edge_map_sparse")
+        fw.mark_critical(["bag"])
+        fw.barrier({0: {"bag": {1, 2, 3}}})
+        rec = fw.metrics.records[0]
+        assert rec.sync_messages == 1
+        assert rec.sync_values == 3  # set contents ship
+
+
+class TestValuesEqual:
+    def test_scalars(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 2)
+
+    def test_collections(self):
+        assert values_equal({1, 2}, {2, 1})
+        assert not values_equal([1], [1, 2])
+
+    def test_incomparable_treated_as_changed(self):
+        class Weird:
+            def __eq__(self, other):
+                raise TypeError
+
+        assert not values_equal(Weird(), Weird())
+
+
+def test_partition_mismatch_rejected():
+    g1 = Graph.from_edges([(0, 1)])
+    g2 = Graph.from_edges([(0, 1)])
+    from repro.graph.partition import partition_graph
+
+    pm = partition_graph(g2, 2)
+    with pytest.raises(ValueError):
+        Flashware(g1, partition=pm)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators (Table III analogues)."""
+
+import networkx as nx
+import pytest
+
+from repro import load_dataset, random_graph, road_network, social_network, web_graph
+from repro.graph.generators import DATASETS
+
+from oracles import to_networkx
+
+
+class TestSocialNetwork:
+    def test_deterministic(self):
+        a = social_network(100, 8, seed=4)
+        b = social_network(100, 8, seed=4)
+        assert a.edges() == b.edges()
+
+    def test_seed_changes_graph(self):
+        a = social_network(100, 8, seed=4)
+        b = social_network(100, 8, seed=5)
+        assert a.edges() != b.edges()
+
+    def test_skewed_degrees(self):
+        g = social_network(500, 10, seed=1)
+        degs = sorted(g.degrees(), reverse=True)
+        # Hot vertices: top degree far above the median (paper §V-A).
+        assert degs[0] > 4 * degs[len(degs) // 2]
+
+    def test_small_diameter(self):
+        g = social_network(300, 10, seed=2)
+        nxg = to_networkx(g)
+        giant = max(nx.connected_components(nxg), key=len)
+        assert nx.diameter(nxg.subgraph(giant)) <= 8
+
+    def test_connected(self):
+        g = social_network(200, 8, seed=3)
+        assert nx.is_connected(to_networkx(g))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            social_network(1)
+
+
+class TestRoadNetwork:
+    def test_degree_bounded_by_grid(self):
+        g = road_network(20, 20, seed=0)
+        assert max(g.degrees()) <= 4
+
+    def test_large_diameter(self):
+        g = road_network(20, 20, seed=0)
+        nxg = to_networkx(g)
+        giant = max(nx.connected_components(nxg), key=len)
+        # Grid-like: diameter on the order of width + height.
+        assert nx.diameter(nxg.subgraph(giant)) >= 20
+
+    def test_drop_fraction_zero_keeps_all(self):
+        g = road_network(5, 4, seed=0, drop_fraction=0.0)
+        assert g.num_edges == 4 * 4 + 5 * 3  # horizontal + vertical links
+
+    def test_deterministic(self):
+        assert road_network(8, 8, seed=9).edges() == road_network(8, 8, seed=9).edges()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            road_network(1, 5)
+
+
+class TestWebGraph:
+    def test_deterministic(self):
+        assert web_graph(150, seed=2).edges() == web_graph(150, seed=2).edges()
+
+    def test_has_hubs(self):
+        g = web_graph(400, out_degree=8, seed=1)
+        degs = sorted(g.degrees(), reverse=True)
+        assert degs[0] > 3 * degs[len(degs) // 2]
+
+    def test_no_self_loops(self):
+        g = web_graph(100, seed=3)
+        assert all(s != d for s, d in g.edges())
+
+
+class TestRandomGraph:
+    def test_edge_count(self):
+        g = random_graph(30, 50, seed=0)
+        assert g.num_edges == 50
+
+    def test_no_duplicate_edges(self):
+        g = random_graph(20, 40, seed=1)
+        keys = {(min(s, d), max(s, d)) for s, d in g.edges()}
+        assert len(keys) == g.num_edges
+
+    def test_saturated_request_clamped(self):
+        g = random_graph(4, 100, seed=0)
+        assert g.num_edges <= 6
+
+
+class TestDatasets:
+    def test_registry_has_paper_abbreviations(self):
+        assert set(DATASETS) == {"OR", "TW", "US", "EU", "UK", "SK"}
+
+    @pytest.mark.parametrize("name", ["OR", "TW", "US", "EU", "UK", "SK"])
+    def test_loadable_and_deterministic(self, name):
+        a = load_dataset(name, scale=0.1)
+        b = load_dataset(name, scale=0.1)
+        assert a.edges() == b.edges()
+        assert a.num_vertices > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("XX")
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("OR", scale=0.1)
+        large = load_dataset("OR", scale=0.3)
+        assert large.num_vertices > small.num_vertices
+
+    def test_directed_variant(self):
+        g = load_dataset("OR", scale=0.1, directed=True)
+        assert g.directed
+
+    def test_domains_have_expected_shapes(self):
+        road = load_dataset("US", scale=0.15)
+        social = load_dataset("OR", scale=0.15)
+        # Road networks: low max degree; social: skewed.
+        assert max(road.degrees()) <= 4
+        assert max(social.degrees()) > 3 * (social.num_arcs / social.num_vertices)

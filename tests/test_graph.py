@@ -1,0 +1,166 @@
+"""Unit tests for the Graph type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph
+
+
+class TestConstruction:
+    def test_undirected_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.num_arcs == 4  # both directions stored
+        assert not g.directed
+
+    def test_directed_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)], directed=True)
+        assert g.num_arcs == 2
+        assert g.directed
+
+    def test_from_edges_infers_size(self):
+        g = Graph.from_edges([(0, 5), (2, 3)])
+        assert g.num_vertices == 6
+
+    def test_from_edges_explicit_size(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_weights_must_be_parallel(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 1)], weights=[1.0, 2.0])
+
+
+class TestAdjacency:
+    def test_undirected_symmetric(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert list(g.out_neighbors(1)) == [0, 2]
+        assert list(g.in_neighbors(1)) == [0, 2]
+        assert g.degree(1) == 2
+
+    def test_directed_in_out(self):
+        g = Graph.from_edges([(0, 1), (2, 1)], directed=True)
+        assert list(g.out_neighbors(0)) == [1]
+        assert list(g.in_neighbors(1)) == [0, 2]
+        assert g.out_degree(1) == 0
+        assert g.in_degree(1) == 2
+        assert g.degree(1) == 2  # in + out for directed
+
+    def test_has_edge(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        und = Graph.from_edges([(0, 1)])
+        assert und.has_edge(1, 0)
+
+    def test_degrees_vector(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert list(g.degrees()) == [2, 1, 1]
+
+
+class TestWeights:
+    def test_unweighted_default_weight(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.weight(0, 1) == 1.0
+        assert list(g.weighted_edges()) == [(0, 1, 1.0)]
+
+    def test_weighted_lookup_both_directions(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], weights=[2.5, 7.0])
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5  # undirected: same edge
+        assert g.weight(2, 1) == 7.0
+
+    def test_weight_missing_edge_raises(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        with pytest.raises(KeyError):
+            g.weight(0, 2)
+
+    def test_with_random_weights_deterministic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        w1 = g.with_random_weights(seed=5)
+        w2 = g.with_random_weights(seed=5)
+        assert list(w1.weighted_edges()) == list(w2.weighted_edges())
+        assert w1.weighted
+
+    def test_with_random_weights_range(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(20)])
+        w = g.with_random_weights(seed=1, low=3.0, high=4.0)
+        for _, _, weight in w.weighted_edges():
+            assert 3.0 <= weight <= 4.0
+
+
+class TestTransforms:
+    def test_reverse_directed(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        r = g.reverse()
+        assert sorted(r.edges()) == [(1, 0), (2, 1)]
+
+    def test_reverse_keeps_weights(self):
+        g = Graph.from_edges([(0, 1)], directed=True, weights=[9.0])
+        assert g.reverse().weight(1, 0) == 9.0
+
+    def test_as_undirected_collapses_duplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+        u = g.as_undirected()
+        assert not u.directed
+        assert u.num_edges == 2
+
+    def test_as_undirected_noop_for_undirected(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.as_undirected() is g
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 15).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda e: e[0] != e[1]
+                ),
+                max_size=40,
+                unique=True,
+            ),
+        )
+    )
+)
+def test_undirected_adjacency_symmetry(case):
+    """Property: undirected graphs always have symmetric adjacency."""
+    n, edges = case
+    g = Graph(n, edges)
+    for v in range(n):
+        for u in g.out_neighbors(v):
+            assert v in g.out_neighbors(int(u))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 12).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=30),
+        )
+    )
+)
+def test_directed_handshake(case):
+    """Property: sum of out-degrees equals arc count equals sum of
+    in-degrees."""
+    n, edges = case
+    g = Graph(n, edges, directed=True)
+    assert sum(g.out_degrees()) == g.num_arcs == sum(g.in_degrees())

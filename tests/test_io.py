@@ -1,0 +1,53 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_round_trip_unweighted(tmp_path):
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.edges() == g.edges()
+    assert back.num_vertices == g.num_vertices
+
+
+def test_round_trip_weighted(tmp_path):
+    g = Graph.from_edges([(0, 1), (1, 2)], weights=[0.5, 2.0])
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path, weighted=True)
+    assert list(back.weighted_edges()) == list(g.weighted_edges())
+
+
+def test_round_trip_directed(tmp_path):
+    g = Graph.from_edges([(1, 0), (2, 1)], directed=True)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path, directed=True)
+    assert back.directed
+    assert back.edges() == g.edges()
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n\n% other comment\n0 1\n1 2\n")
+    g = read_edge_list(path)
+    assert g.edges() == [(0, 1), (1, 2)]
+
+
+def test_missing_weight_defaults_to_one(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 5.0\n1 2\n")
+    g = read_edge_list(path, weighted=True)
+    assert list(g.weighted_edges()) == [(0, 1, 5.0), (1, 2, 1.0)]
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(ValueError):
+        read_edge_list(path)

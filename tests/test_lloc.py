@@ -1,0 +1,91 @@
+"""Tests for the LLoC counter and the Table I reproduction."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.lloc import TABLE1_ALGORITHMS, TABLE1_FRAMEWORKS, count_lloc, table1_rows
+
+
+def tiny(a, b):
+    c = a + b
+    if c > 0:
+        return c
+    return -c
+
+
+class WithDocstring:
+    """Docstrings do not count."""
+
+    def method(self):
+        """Nor here."""
+        return 1
+
+
+class TestCounter:
+    def test_counts_statements(self):
+        # def, assignment, if, return, return -> 5
+        assert count_lloc(tiny) == 5
+
+    def test_docstrings_excluded(self):
+        # class, def, return -> 3
+        assert count_lloc(WithDocstring) == 3
+
+    def test_sequence_sums(self):
+        assert count_lloc([tiny, tiny]) == 10
+
+    def test_lambdas_in_module_functions(self):
+        def with_loop():
+            total = 0
+            for i in range(3):
+                total += i
+            return total
+
+        # def, assign, for, augassign, return -> 5
+        assert count_lloc(with_loop) == 5
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return dict(table1_rows())
+
+    def test_all_rows_present(self, rows):
+        assert set(rows) == set(TABLE1_ALGORITHMS)
+
+    def test_expressibility_matches_paper(self, rows):
+        """Measured None-cells coincide exactly with the paper's empty
+        circles — including Pregel's half-supported CC-opt/MM-opt, which
+        we port in their awkward chained form."""
+        for algo, row in rows.items():
+            for framework in TABLE1_FRAMEWORKS:
+                expected = paper.TABLE1[algo][framework] is not None
+                assert (row[framework] is not None) == expected, (algo, framework)
+
+    def test_flash_always_expressible(self, rows):
+        assert all(row["flash"] is not None for row in rows.values())
+
+    def test_flash_shortest_on_multiphase_apps(self, rows):
+        """The paper's productivity claim, on the apps where baseline
+        verbosity explodes (SCC: 275 vs 74; BCC: 1057 vs 77; MSF: 208 vs
+        24 in Table I)."""
+        for algo in ("scc", "bcc", "msf"):
+            flash = rows[algo]["flash"]
+            for framework in ("pregel", "gas"):
+                other = rows[algo][framework]
+                if other is not None:
+                    assert flash < other, (algo, framework)
+
+    def test_flash_expresses_strictly_more(self, rows):
+        """FLASH's coverage strictly dominates every baseline's —
+        quantitatively the strongest Table I signal that survives the
+        C++→Python translation (Python erases Pregel's boilerplate, so
+        per-app LLoC gaps shrink; see EXPERIMENTS.md)."""
+        for framework in ("pregel", "gas", "gemini", "ligra"):
+            expressible = sum(1 for row in rows.values() if row[framework] is not None)
+            assert expressible < len(rows)
+
+    def test_counts_are_positive(self, rows):
+        for algo, row in rows.items():
+            for framework, value in row.items():
+                if value is not None:
+                    assert value > 0

@@ -1,0 +1,74 @@
+"""Tests for the metrics accounting."""
+
+import pytest
+
+from repro.runtime.metrics import Metrics
+
+
+def test_record_creation_and_totals():
+    m = Metrics(2)
+    r1 = m.new_record("vertex_map", "init")
+    r1.worker_ops[0] = 5
+    r1.worker_ops[1] = 3
+    r1.sync_messages = 2
+    r1.sync_values = 4
+    r2 = m.new_record("edge_map_sparse")
+    r2.reduce_messages = 1
+    r2.reduce_values = 7
+    assert m.num_supersteps == 2
+    assert m.total_ops == 8
+    assert m.total_messages == 3
+    assert m.total_values == 11
+    assert m.total_sync_values == 4
+    assert m.total_reduce_values == 7
+
+
+def test_record_max_worker_ops():
+    m = Metrics(3)
+    r = m.new_record("x")
+    r.worker_ops = [1, 9, 4]
+    assert r.max_worker_ops == 9
+    assert r.total_ops == 14
+
+
+def test_frontier_trace_filtering():
+    m = Metrics(1)
+    a = m.new_record("edge_map_sparse")
+    a.frontier_in = 10
+    b = m.new_record("vertex_map")
+    b.frontier_in = 5
+    assert m.frontier_trace() == [10, 5]
+    assert m.frontier_trace("vertex_map") == [5]
+
+
+def test_mode_choices():
+    m = Metrics(1)
+    m.note_mode("dense")
+    m.note_mode("dense")
+    m.note_mode("sparse")
+    assert m.mode_choices == {"dense": 2, "sparse": 1}
+
+
+def test_reset():
+    m = Metrics(2)
+    m.new_record("x")
+    m.note_mode("dense")
+    m.reset()
+    assert m.num_supersteps == 0
+    assert m.mode_choices == {}
+
+
+def test_summary_keys():
+    m = Metrics(1)
+    assert set(m.summary()) == {"supersteps", "ops", "messages", "values"}
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError):
+        Metrics(0)
+
+
+def test_record_indices_sequential():
+    m = Metrics(1)
+    assert m.new_record("a").index == 0
+    assert m.new_record("b").index == 1

@@ -1,0 +1,203 @@
+"""Reproduction tests: the qualitative *shapes* the paper's evaluation
+reports, checked on the scaled-down datasets.
+
+These are the assertions EXPERIMENTS.md summarizes — each test name
+cites the paper element it reproduces.
+"""
+
+import pytest
+
+from repro import ClusterSpec, CostModel, FlashEngine, FlashwareOptions, load_dataset
+from repro.algorithms import bfs, cc_basic, cc_opt, kcore_basic, kcore_opt, mm_basic, mm_opt
+from repro.runtime.costmodel import CostParams
+from repro.suite import run_app
+
+
+@pytest.fixture(scope="module")
+def tw():
+    return load_dataset("TW", scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def us():
+    return load_dataset("US", scale=0.25)
+
+
+class TestCCOptAppendixB:
+    def test_cc_opt_converges_in_far_fewer_rounds_on_road(self, us):
+        """App. B-A: optimized CC takes 7 iterations on US while label
+        propagation takes thousands (here: O(log n) vs O(diameter))."""
+        basic = cc_basic(us)
+        opt = cc_opt(us)
+        assert opt.values == basic.values
+        assert basic.iterations > 5 * opt.iterations
+
+    def test_cc_opt_similar_on_social(self, tw):
+        """On small-diameter social graphs the gap mostly disappears."""
+        basic = cc_basic(tw)
+        opt = cc_opt(tw)
+        assert opt.values == basic.values
+        assert basic.iterations <= opt.iterations + 4
+
+
+class TestFig3DualMode:
+    @pytest.mark.parametrize("name,scale", [("TW", 0.08), ("UK", 0.1), ("US", 1.3)])
+    def test_auto_close_to_best_fixed_mode(self, name, scale):
+        """Fig. 3: the adaptive scheme tracks the best fixed mode (and
+        beats the worst by a wide margin)."""
+        graph = load_dataset(name, scale=scale)
+        model = CostModel()
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        seconds = {}
+        for mode in ("auto", "sparse", "dense"):
+            result = bfs(graph, root=0, num_workers=4, mode=mode)
+            seconds[mode] = model.seconds(result.engine.metrics, cluster)
+        best = min(seconds["sparse"], seconds["dense"])
+        worst = max(seconds["sparse"], seconds["dense"])
+        assert seconds["auto"] <= best * 1.2
+        assert seconds["auto"] < worst
+
+    def test_us_adaptive_falls_into_sparse(self):
+        """Fig. 3 US panel: "our adaptive switching falls into the sparse
+        mode all the time" on the road network, where the dense mode
+        wastes a full edge scan per superstep on tiny frontiers."""
+        graph = load_dataset("US", scale=1.3)
+        auto = bfs(graph, root=0, mode="auto").engine.metrics
+        assert auto.mode_choices.get("dense", 0) == 0
+        sparse_ops = bfs(graph, root=0, mode="sparse").engine.metrics.total_ops
+        dense_ops = bfs(graph, root=0, mode="dense").engine.metrics.total_ops
+        assert dense_ops > 5 * sparse_ops
+
+
+class TestFig4aMMOpt:
+    def test_active_vertices_collapse(self, tw):
+        """Fig. 4(a): MM-opt touches far fewer vertices overall."""
+        basic = mm_basic(tw)
+        opt = mm_opt(tw)
+        basic_frontier = sum(
+            r.frontier_in for r in basic.engine.metrics.records if r.kind.startswith("edge_map")
+        )
+        opt_frontier = sum(
+            r.frontier_in
+            for r in opt.engine.metrics.records
+            if r.kind == "edge_map_sparse"
+        )
+        assert opt_frontier < basic_frontier
+
+    def test_mm_opt_cheaper(self, tw):
+        basic_ops = mm_basic(tw).engine.metrics.total_ops
+        opt_ops = mm_opt(tw).engine.metrics.total_ops
+        assert opt_ops < basic_ops
+
+
+class TestKCOpt:
+    def test_fewer_rounds(self, tw):
+        """App. B-F: the local algorithm converges in fewer rounds than
+        the k-by-k peeling loop needs peel sweeps (the two-orders gap the
+        paper reports needs high-degeneracy graphs far larger than our
+        scaled datasets; the round advantage is the scale-invariant
+        part)."""
+        basic = kcore_basic(tw)
+        opt = kcore_opt(tw)
+        assert opt.values == basic.values
+        assert opt.iterations < basic.iterations
+
+
+class TestFig4bIntraNodeScaling:
+    def test_speedup_curve_matches_paper(self, tw):
+        """Fig. 4(b): compute-bound TC speedups flatten past ~8 cores."""
+        run = run_app("flash", "tc", tw, num_workers=4)
+        model = CostModel()
+        base = model.seconds(run.metrics, ClusterSpec(nodes=4, cores_per_node=1))
+        speedups = {
+            c: base / model.seconds(run.metrics, ClusterSpec(nodes=4, cores_per_node=c))
+            for c in (2, 4, 8, 16, 32)
+        }
+        paper = {2: 1.8, 4: 2.9, 8: 4.7, 16: 6.7, 32: 7.5}
+        for cores, expected in paper.items():
+            assert speedups[cores] == pytest.approx(expected, rel=0.3)
+        # Monotone but saturating.
+        assert speedups[32] < 32 * 0.5
+
+
+class TestTableVHeadlines:
+    def test_flash_beats_pregel_and_gas_on_mis(self, tw):
+        """Table V: FLASH dominates Pregel+/PowerGraph on MIS."""
+        model = CostModel()
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        flash = run_app("flash", "mis", tw).seconds(cluster, model)
+        pregel = run_app("pregel", "mis", tw).seconds(cluster, model)
+        gas = run_app("gas", "mis", tw).seconds(cluster, model)
+        assert flash < pregel
+        assert flash < gas
+
+    def test_flash_beats_pregel_on_mm(self, tw):
+        """Table V MM row: every baseline is OT on TW while FLASH's
+        MM-opt finishes; here it is several times cheaper."""
+        model = CostModel()
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        flash = run_app("flash", "mm", tw).seconds(cluster, model)
+        pregel = run_app("pregel", "mm", tw).seconds(cluster, model)
+        gas = run_app("gas", "mm", tw).seconds(cluster, model)
+        assert flash * 2 < pregel
+        assert flash * 2 < gas
+
+    def test_flash_beats_pregel_on_scc_and_bcc(self):
+        """Table VI: Pregel+'s chained SCC/BCC sub-algorithms lose to
+        FLASH's single multi-phase programs (22.7x-54.6x in the paper)."""
+        model = CostModel()
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        directed = load_dataset("OR", scale=0.15, directed=True)
+        assert (
+            run_app("flash", "scc", directed).seconds(cluster, model)
+            < run_app("pregel", "scc", directed).seconds(cluster, model)
+        )
+        undirected = load_dataset("TW", scale=0.12)
+        assert (
+            run_app("flash", "bcc", undirected).seconds(cluster, model)
+            < run_app("pregel", "bcc", undirected).seconds(cluster, model)
+        )
+
+    def test_flash_crushes_cc_baselines_on_road(self):
+        """Table V CC/US row (435 s / 1832 s vs 31 s): on huge-diameter
+        graphs FLASH's CC-opt converges in O(log n) rounds while every
+        baseline label-propagates for ~diameter rounds."""
+        model = CostModel()
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        road = load_dataset("US", scale=0.8)
+        flash = run_app("flash", "cc", road).seconds(cluster, model)
+        gas = run_app("gas", "cc", road).seconds(cluster, model)
+        pregel = run_app("pregel", "cc", road).seconds(cluster, model)
+        assert flash * 2 < gas
+        assert flash * 2 < pregel
+
+
+class TestAblations:
+    def test_critical_only_sync_reduces_traffic(self, tw):
+        """§IV-C: syncing only critical properties cuts sync values."""
+
+        def traffic(options):
+            eng = FlashEngine(tw, num_workers=4, options=options)
+            result = kcore_basic(eng)
+            return result.engine.metrics.total_sync_values
+
+        on = traffic(FlashwareOptions(sync_critical_only=True))
+        off = traffic(FlashwareOptions(sync_critical_only=False))
+        assert on < off
+
+    def test_necessary_mirrors_reduce_traffic(self, tw):
+        def traffic(options):
+            eng = FlashEngine(tw, num_workers=4, options=options)
+            result = bfs(eng, root=0)
+            return result.engine.metrics.total_sync_values
+
+        on = traffic(FlashwareOptions(necessary_mirrors_only=True))
+        off = traffic(FlashwareOptions(necessary_mirrors_only=False))
+        assert on <= off
+
+    def test_overlap_reduces_total(self, tw):
+        result = bfs(tw, root=0, num_workers=4)
+        cluster = ClusterSpec(nodes=4, cores_per_node=32)
+        with_overlap = CostModel(CostParams(overlap=True)).seconds(result.engine.metrics, cluster)
+        without = CostModel(CostParams(overlap=False)).seconds(result.engine.metrics, cluster)
+        assert with_overlap <= without

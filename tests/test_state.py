@@ -1,0 +1,87 @@
+"""Tests for the current-state property storage."""
+
+import pytest
+
+from repro.runtime.state import VertexState
+
+
+class TestProperties:
+    def test_add_and_get(self):
+        s = VertexState(3)
+        s.add_property("x", 7)
+        assert s.get(0, "x") == 7
+        assert s.property_names == ["x"]
+
+    def test_set_and_row(self):
+        s = VertexState(2)
+        s.add_property("a", 1)
+        s.add_property("b", "hi")
+        s.set(1, "a", 42)
+        assert s.row(1) == {"a": 42, "b": "hi"}
+        assert s.row(0) == {"a": 1, "b": "hi"}
+
+    def test_duplicate_property_rejected(self):
+        s = VertexState(1)
+        s.add_property("x")
+        with pytest.raises(ValueError):
+            s.add_property("x")
+
+    def test_private_name_rejected(self):
+        s = VertexState(1)
+        with pytest.raises(ValueError):
+            s.add_property("_hidden")
+
+    def test_non_identifier_rejected(self):
+        s = VertexState(1)
+        with pytest.raises(ValueError):
+            s.add_property("not ok")
+
+    def test_remove_property(self):
+        s = VertexState(2)
+        s.add_property("x", 0)
+        s.remove_property("x")
+        assert not s.has_property("x")
+
+    def test_reset_property(self):
+        s = VertexState(2)
+        s.add_property("x", 5)
+        s.set(0, "x", 99)
+        s.reset_property("x")
+        assert s.get(0, "x") == 5
+
+
+class TestMutableDefaults:
+    def test_set_default_not_shared(self):
+        s = VertexState(3)
+        s.add_property("bag", set())
+        s.get(0, "bag").add(1)
+        assert s.get(1, "bag") == set()
+
+    def test_list_default_not_shared(self):
+        s = VertexState(2)
+        s.add_property("items", [])
+        s.get(0, "items").append("a")
+        assert s.get(1, "items") == []
+
+    def test_dict_default_not_shared(self):
+        s = VertexState(2)
+        s.add_property("hist", {})
+        s.get(0, "hist")["k"] = 1
+        assert s.get(1, "hist") == {}
+
+    def test_factory_called_per_vertex(self):
+        calls = []
+
+        def make():
+            calls.append(1)
+            return set()
+
+        s = VertexState(4)
+        s.add_property("bag", factory=make)
+        assert len(calls) == 4
+
+    def test_immutable_default_shared_is_fine(self):
+        s = VertexState(100)
+        s.add_property("x", 3.14)
+        col = s.column("x")
+        assert all(v == 3.14 for v in col)

@@ -1,0 +1,95 @@
+"""Tests for the vertexSubset type and its set algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FlashEngine, Graph
+
+
+@pytest.fixture
+def engine():
+    return FlashEngine(Graph.from_edges([(i, i + 1) for i in range(9)]), num_workers=2)
+
+
+class TestBasics:
+    def test_size_and_len(self, engine):
+        u = engine.subset([1, 3, 5])
+        assert u.size() == 3
+        assert len(u) == 3
+        assert bool(u)
+        assert not engine.empty()
+
+    def test_iteration_sorted(self, engine):
+        u = engine.subset([5, 1, 3])
+        assert list(u) == [1, 3, 5]
+        assert u.ids() == [1, 3, 5]
+
+    def test_contains(self, engine):
+        u = engine.subset([2, 4])
+        assert 2 in u and 3 not in u
+        assert u.contain(4) and not u.contain(0)
+
+    def test_duplicates_collapse(self, engine):
+        assert engine.subset([1, 1, 1]).size() == 1
+
+    def test_out_of_range_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.subset([100])
+        with pytest.raises(ValueError):
+            engine.subset([-1])
+
+    def test_v_covers_all(self, engine):
+        assert engine.V.size() == engine.graph.num_vertices
+
+
+class TestAlgebra:
+    def test_union(self, engine):
+        assert list(engine.subset([1]).union(engine.subset([2]))) == [1, 2]
+        assert list(engine.subset([1]) | engine.subset([2])) == [1, 2]
+
+    def test_minus(self, engine):
+        assert list(engine.subset([1, 2, 3]).minus(engine.subset([2]))) == [1, 3]
+        assert list(engine.subset([1, 2]) - engine.subset([1, 2])) == []
+
+    def test_intersect(self, engine):
+        assert list(engine.subset([1, 2, 3]) & engine.subset([2, 3, 4])) == [2, 3]
+
+    def test_add_is_persistent(self, engine):
+        u = engine.subset([1])
+        w = u.add(5)
+        assert list(w) == [1, 5]
+        assert list(u) == [1]  # original untouched
+
+    def test_equality_and_hash(self, engine):
+        a = engine.subset([1, 2])
+        b = engine.subset([2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != engine.subset([1])
+
+    def test_cross_engine_combination_rejected(self, engine):
+        other = FlashEngine(Graph.from_edges([(0, 1)]), num_workers=1)
+        with pytest.raises(ValueError):
+            engine.subset([1]).union(other.subset([0]))
+
+    def test_non_subset_operand_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.subset([1]).union({2})
+
+
+ids = st.sets(st.integers(0, 9), max_size=10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ids, b=ids, c=ids)
+def test_set_algebra_laws(a, b, c):
+    """Property: subset algebra matches Python-set algebra."""
+    eng = FlashEngine(Graph.from_edges([(i, i + 1) for i in range(9)]), num_workers=1)
+    A, B, C = eng.subset(a), eng.subset(b), eng.subset(c)
+    assert set(A | B) == a | b
+    assert set(A - B) == a - b
+    assert set(A & B) == a & b
+    # Distributivity and De-Morgan-ish identities.
+    assert (A & (B | C)) == ((A & B) | (A & C))
+    assert (A - (B | C)) == ((A - B) & (A - C))

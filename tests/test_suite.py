@@ -1,0 +1,66 @@
+"""Tests for the uniform suite runner (repro.suite)."""
+
+import pytest
+
+from repro import load_dataset, random_graph
+from repro.runtime.cluster import ClusterSpec
+from repro.suite import APPS, DIRECTED_APPS, WEIGHTED_APPS, prepare_graph, run_app
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(25, 60, seed=9)
+
+
+class TestRunApp:
+    def test_flash_covers_every_app(self, graph):
+        for app in APPS:
+            g = graph
+            if app in DIRECTED_APPS:
+                g = load_dataset("OR", scale=0.05, directed=True)
+            g = prepare_graph(app, g)
+            run = run_app("flash", app, g, num_workers=2)
+            assert run is not None, app
+            assert run.framework == "flash"
+            assert run.metrics.num_supersteps > 0
+
+    def test_best_of_variants_choose_cheaper(self):
+        """On a road network the CC entry must pick the optimized variant
+        (far cheaper); its superstep count betrays the choice."""
+        road = load_dataset("US", scale=0.4)
+        run = run_app("flash", "cc", road, num_workers=2)
+        # cc_basic needs ~diameter supersteps; cc_opt a couple dozen.
+        assert run.metrics.num_supersteps < 60
+
+    def test_ligra_runs_single_worker(self, graph):
+        run = run_app("ligra", "bfs", graph, num_workers=4)
+        assert run.metrics.num_workers == 1
+
+    def test_seconds_uses_matching_cluster(self, graph):
+        run = run_app("flash", "bfs", graph, num_workers=2)
+        assert run.seconds(ClusterSpec(nodes=2, cores_per_node=8)) > 0
+        with pytest.raises(ValueError):
+            run.seconds(ClusterSpec(nodes=3, cores_per_node=8))
+
+    def test_default_cluster_inferred(self, graph):
+        run = run_app("flash", "bfs", graph, num_workers=3)
+        assert run.seconds() > 0  # infers a 3-node cluster
+
+    def test_unknown_framework_raises(self, graph):
+        with pytest.raises(KeyError):
+            run_app("timely", "bfs", graph)
+
+
+class TestPrepareGraph:
+    def test_weighted_apps_get_weights(self, graph):
+        for app in WEIGHTED_APPS:
+            assert prepare_graph(app, graph).weighted
+
+    def test_weighted_graph_untouched(self, graph):
+        weighted = graph.with_random_weights(seed=0)
+        assert prepare_graph("msf", weighted) is weighted
+
+    def test_deterministic_weights(self, graph):
+        a = prepare_graph("msf", graph, seed=4)
+        b = prepare_graph("msf", graph, seed=4)
+        assert list(a.weighted_edges()) == list(b.weighted_edges())

@@ -1,0 +1,87 @@
+"""Tests for vertex view handles (read-only, working, tracing)."""
+
+import pytest
+
+from repro import FlashEngine, Graph
+from repro.core.vertex import TracingView, VertexView, WorkingView
+from repro.errors import FlashUsageError
+
+
+@pytest.fixture
+def engine():
+    eng = FlashEngine(Graph.from_edges([(0, 1), (1, 2)]), num_workers=1)
+    eng.add_property("x", 10)
+    return eng
+
+
+class TestReadOnly:
+    def test_builtins(self, engine):
+        v = VertexView(engine, 1)
+        assert v.id == 1
+        assert v.deg == 2
+        assert v.out_deg == 2
+        assert v.in_deg == 2
+
+    def test_property_read(self, engine):
+        assert VertexView(engine, 0).x == 10
+
+    def test_write_rejected(self, engine):
+        v = VertexView(engine, 0)
+        with pytest.raises(FlashUsageError):
+            v.x = 5
+
+    def test_unknown_property_raises_attribute_error(self, engine):
+        with pytest.raises(AttributeError):
+            VertexView(engine, 0).nope
+
+
+class TestWorking:
+    def test_write_stays_local(self, engine):
+        v = WorkingView(engine, 0)
+        v.x = 99
+        assert v.x == 99
+        assert engine.value(0, "x") == 10  # snapshot untouched
+        assert v.staged == {"x": 99}
+
+    def test_read_falls_through(self, engine):
+        v = WorkingView(engine, 0)
+        assert v.x == 10
+
+    def test_unknown_property_write_rejected(self, engine):
+        v = WorkingView(engine, 0)
+        with pytest.raises(FlashUsageError):
+            v.nope = 1
+
+    def test_reserved_attribute_write_rejected(self, engine):
+        v = WorkingView(engine, 0)
+        with pytest.raises(FlashUsageError):
+            v.deg = 5
+
+    def test_preloaded_local(self, engine):
+        v = WorkingView(engine, 0, local={"x": 1})
+        assert v.x == 1
+
+
+class TestTracing:
+    def test_records_gets_and_puts(self, engine):
+        events = []
+        v = TracingView(engine, 0, "target", events)
+        _ = v.x
+        v.x = 3
+        assert ("get", "target", "x") in events
+        assert ("put", "target", "x") in events
+
+    def test_builtins_not_traced(self, engine):
+        events = []
+        v = TracingView(engine, 0, "source", events)
+        _ = v.id
+        _ = v.deg
+        assert events == []
+
+    def test_roles_recorded(self, engine):
+        events = []
+        s = TracingView(engine, 0, "source", events)
+        d = TracingView(engine, 1, "target", events)
+        _ = s.x
+        _ = d.x
+        assert events == [("get", "source", "x"), ("get", "target", "x")]
