@@ -22,6 +22,7 @@ from repro.analysis.tables import format_table
 from repro.graph.generators import DATASETS
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostModel
+from repro.runtime.vectorized.dispatch import BACKENDS
 from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
 
 
@@ -41,11 +42,16 @@ def _load(app: str, dataset: str, scale: float):
 
 def cmd_run(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
-    run = run_app("flash", args.app, graph, num_workers=args.workers)
+    run = run_app(
+        "flash", args.app, graph, num_workers=args.workers, backend=args.backend
+    )
     cluster = ClusterSpec(nodes=args.workers, cores_per_node=32)
     cost = run.cost(cluster, CostModel())
     print(f"{args.app} on {args.dataset} ({graph})")
     print(f"  metrics: {run.metrics.summary()}")
+    print(f"  backend: {args.backend} (supersteps by executor: "
+          f"{run.metrics.backend_choices or {'interp': run.metrics.num_supersteps}})")
+    print(f"  EDGEMAP mode choices: {run.metrics.mode_choices}")
     print(f"  simulated time on {args.workers}x32 cores: {cost.total * 1e3:.3f} ms")
     if run.extra:
         preview = {k: v for k, v in run.extra.items() if not isinstance(v, (dict, list))}
@@ -58,16 +64,21 @@ def cmd_compare(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
     model = CostModel()
     rows = []
+    flash_modes = None
     for framework in FRAMEWORKS:
         workers = 1 if framework == "ligra" else args.workers
-        run = run_app(framework, args.app, graph, num_workers=workers)
+        backend = args.backend if framework == "flash" else None
+        run = run_app(framework, args.app, graph, num_workers=workers, backend=backend)
         if run is None:
             rows.append([framework, "-", "-", "inexpressible"])
             continue
         cluster = ClusterSpec(nodes=workers, cores_per_node=32)
+        name = f"flash[{args.backend}]" if framework == "flash" else framework
+        if framework == "flash":
+            flash_modes = run.metrics.mode_choices
         rows.append(
             [
-                framework,
+                name,
                 run.metrics.num_supersteps,
                 run.metrics.total_messages,
                 f"{run.cost(cluster, model).total * 1e3:.3f}ms",
@@ -75,6 +86,8 @@ def cmd_compare(args) -> int:
         )
     print(format_table(["framework", "supersteps", "messages", "sim. time"], rows,
                        title=f"{args.app} on {args.dataset} ({graph})"))
+    if flash_modes is not None:
+        print(f"flash EDGEMAP mode choices: {flash_modes}")
     return 0
 
 
@@ -109,6 +122,12 @@ def main(argv=None) -> int:
         p.add_argument("dataset", choices=list(DATASETS))
         p.add_argument("--scale", type=float, default=0.15)
         p.add_argument("--workers", type=int, default=4)
+        p.add_argument(
+            "--backend",
+            choices=list(BACKENDS),
+            default="interp",
+            help="FLASH execution backend (vectorized = NumPy columnar kernels)",
+        )
 
     sub.add_parser("lloc", help="Table I LLoC matrix")
 

@@ -11,10 +11,23 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from repro.algorithms.common import INF, AlgorithmResult, make_engine
 from repro.core.engine import FlashEngine
 from repro.core.primitives import bind, ctrue
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
+
+# The hop-advance kernel: a write-once visit (C: ``dis == INF``) where
+# every frontier source offers ``dis + 1``.
+_STEP_SPEC = EdgeMapSpec(
+    prop="dis",
+    reduce="min",
+    value=lambda k: k.sp("dis") + 1.0,
+    cond_unvisited=INF,
+    reads=("dis",),
+)
 
 
 def bfs(
@@ -46,15 +59,26 @@ def bfs(
     def reduce(t, d):
         return t
 
-    U = eng.vertex_map(eng.V, ctrue, bind(init, root), label="bfs:init")
-    U = eng.vertex_map(eng.V, bind(filter_root, root), label="bfs:root")
+    init_spec = VertexMapSpec(
+        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)}
+    )
+    root_spec = VertexMapSpec(filter=lambda k: k.ids == root)
+
+    U = eng.vertex_map(eng.V, ctrue, bind(init, root), label="bfs:init", spec=init_spec)
+    U = eng.vertex_map(eng.V, bind(filter_root, root), label="bfs:root", spec=root_spec)
     iterations = 0
     while eng.size(U) != 0:
         iterations += 1
         if mode == "auto":
-            U = eng.edge_map(U, eng.E, ctrue, update, cond, reduce, label="bfs:step")
+            U = eng.edge_map(
+                U, eng.E, ctrue, update, cond, reduce, label="bfs:step", spec=_STEP_SPEC
+            )
         elif mode == "sparse":
-            U = eng.edge_map_sparse(U, eng.E, ctrue, update, cond, reduce, label="bfs:step")
+            U = eng.edge_map_sparse(
+                U, eng.E, ctrue, update, cond, reduce, label="bfs:step", spec=_STEP_SPEC
+            )
         else:
-            U = eng.edge_map_dense(U, eng.E, ctrue, update, cond, label="bfs:step")
+            U = eng.edge_map_dense(
+                U, eng.E, ctrue, update, cond, label="bfs:step", spec=_STEP_SPEC
+            )
     return AlgorithmResult("bfs", eng, eng.values("dis"), iterations)

@@ -11,11 +11,68 @@ from __future__ import annotations
 
 from typing import Dict, Union
 
+import numpy as np
+
 from repro.algorithms.common import AlgorithmResult, local_list, make_engine
 from repro.core.engine import FlashEngine
 from repro.core.primitives import ctrue
 from repro.errors import ReproError
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
+
+_INIT_SPEC = VertexMapSpec(
+    map=lambda k: {"c": k.ids, "cc": k.ids, "inbox": [[] for _ in range(len(k))]},
+    raw_reads=("inbox",),
+)
+# Gossip: append the source's label to every neighbor's inbox (a gather
+# into the list-valued column, pull mode).
+_GOSSIP_SPEC = EdgeMapSpec(
+    prop="inbox",
+    kind="gather",
+    value=lambda k: k.sp("c"),
+    reads=("c",),
+)
+_COMMIT_SPEC = VertexMapSpec(
+    filter=lambda k: k.p("c") != k.p("cc"),
+    map=lambda k: {"c": k.p("cc")},
+    reads=("c", "cc"),
+)
+
+
+def _tally(batch) -> Dict[str, object]:
+    """Vectorized majority vote: for each vertex, the most frequent inbox
+    label (ties to the smallest label, falling back to the current label
+    for empty inboxes) — then the inbox is consumed."""
+    inbox = batch.raw("inbox")
+    ids = batch.ids.tolist()
+    lists = [inbox[v] for v in ids]
+    lengths = np.fromiter((len(l) for l in lists), dtype=np.int64, count=len(lists))
+    total = int(lengths.sum())
+    cc_new = batch.p("c").copy()
+    if total:
+        labels = np.fromiter(
+            (label for l in lists for label in l), dtype=np.int64, count=total
+        )
+        segments = np.repeat(np.arange(len(lists), dtype=np.int64), lengths)
+        order = np.lexsort((labels, segments))
+        slabels, ssegments = labels[order], segments[order]
+        run_start = np.ones(total, dtype=bool)
+        run_start[1:] = (slabels[1:] != slabels[:-1]) | (ssegments[1:] != ssegments[:-1])
+        starts = np.flatnonzero(run_start)
+        run_seg = ssegments[starts]
+        run_label = slabels[starts]
+        run_count = np.diff(np.append(starts, total))
+        # per segment: highest count wins, ties to the smallest label
+        ranked = np.lexsort((run_label, -run_count, run_seg))
+        seg_sorted = run_seg[ranked]
+        first = np.ones(len(ranked), dtype=bool)
+        first[1:] = seg_sorted[1:] != seg_sorted[:-1]
+        winners = ranked[first]
+        cc_new[run_seg[winners]] = run_label[winners]
+    return {"cc": cc_new, "inbox": [[] for _ in range(len(lists))]}
+
+
+_TALLY_SPEC = VertexMapSpec(map=_tally, reads=("c", "cc"), raw_reads=("inbox",))
 
 
 def lpa(
@@ -67,13 +124,16 @@ def lpa(
         v.c = v.cc
         return v
 
-    eng.vertex_map(eng.V, ctrue, init, label="lpa:init")
+    eng.vertex_map(eng.V, ctrue, init, label="lpa:init", spec=_INIT_SPEC)
     iterations = 0
     for _ in range(max_iters):
         iterations += 1
-        moved = eng.edge_map(eng.V, eng.E, ctrue, update1, ctrue, r1, label="lpa:gossip")
-        moved = eng.vertex_map(moved, ctrue, local1, label="lpa:tally")
-        moved = eng.vertex_map(eng.V, changed, local2, label="lpa:commit")
+        moved = eng.edge_map(
+            eng.V, eng.E, ctrue, update1, ctrue, r1,
+            label="lpa:gossip", spec=_GOSSIP_SPEC,
+        )
+        moved = eng.vertex_map(moved, ctrue, local1, label="lpa:tally", spec=_TALLY_SPEC)
+        moved = eng.vertex_map(eng.V, changed, local2, label="lpa:commit", spec=_COMMIT_SPEC)
         if eng.size(moved) == 0:
             break
     return AlgorithmResult(

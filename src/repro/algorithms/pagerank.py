@@ -9,10 +9,23 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from repro.algorithms.common import AlgorithmResult, make_engine
 from repro.core.engine import FlashEngine
 from repro.core.primitives import ctrue
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
+
+# Rank scatter: every edge carries ``rank / out_degree`` into the
+# target's accumulator.  ``sum`` is applied in arc order, so float
+# results match the interpreted sequential fold bit-for-bit.
+_SCATTER_SPEC = EdgeMapSpec(
+    prop="acc",
+    reduce="sum",
+    value=lambda k: k.sp("rank") / k.src_out_deg,
+    reads=("rank", "acc"),
+)
 
 
 def pagerank(
@@ -51,8 +64,19 @@ def pagerank(
             v.acc = 0.0
             return v
 
-        eng.edge_map(eng.V, eng.E, ctrue, scatter, ctrue, r_sum, label="pr:scatter")
-        eng.vertex_map(eng.V, ctrue, apply, label="pr:apply")
+        apply_spec = VertexMapSpec(
+            map=lambda k, extra=dangling_mass: {
+                "rank": (1.0 - damping) / n + damping * (k.p("acc") + extra),
+                "acc": np.zeros(len(k)),
+            },
+            reads=("acc", "rank"),
+        )
+
+        eng.edge_map(
+            eng.V, eng.E, ctrue, scatter, ctrue, r_sum,
+            label="pr:scatter", spec=_SCATTER_SPEC,
+        )
+        eng.vertex_map(eng.V, ctrue, apply, label="pr:apply", spec=apply_spec)
         after = eng.values("rank")
         delta = sum(abs(a - b) for a, b in zip(after, before))
         if delta < tolerance:

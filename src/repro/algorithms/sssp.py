@@ -9,11 +9,26 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from repro.algorithms.common import INF, AlgorithmResult, make_engine
 from repro.core.engine import FlashEngine
 from repro.core.primitives import bind, ctrue
 from repro.errors import ReproError
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
+
+# Bellman-Ford relaxation: every frontier source offers
+# ``dis + weight``; targets keep the minimum, and only strict
+# improvements re-enter the frontier.
+_RELAX_SPEC = EdgeMapSpec(
+    prop="dis",
+    reduce="min",
+    value=lambda k: k.sp("dis") + k.w,
+    f="improve",
+    reads=("dis",),
+    uses_weights=True,
+)
 
 
 def sssp(
@@ -47,12 +62,22 @@ def sssp(
         d.dis = min(d.dis, t.dis)
         return d
 
-    eng.vertex_map(eng.V, ctrue, bind(init, root), label="sssp:init")
-    frontier = eng.vertex_map(eng.V, bind(filter_root, root), label="sssp:root")
+    init_spec = VertexMapSpec(
+        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)}
+    )
+    root_spec = VertexMapSpec(filter=lambda k: k.ids == root)
+
+    eng.vertex_map(eng.V, ctrue, bind(init, root), label="sssp:init", spec=init_spec)
+    frontier = eng.vertex_map(
+        eng.V, bind(filter_root, root), label="sssp:root", spec=root_spec
+    )
     iterations = 0
     while eng.size(frontier) != 0:
         iterations += 1
         if iterations > max_iterations:
             raise ReproError("sssp failed to converge (negative cycle?)")
-        frontier = eng.edge_map(frontier, eng.E, improves, relax, ctrue, reduce, label="sssp:relax")
+        frontier = eng.edge_map(
+            frontier, eng.E, improves, relax, ctrue, reduce,
+            label="sssp:relax", spec=_RELAX_SPEC,
+        )
     return AlgorithmResult("sssp", eng, eng.values("dis"), iterations)

@@ -80,10 +80,11 @@ class GeminiFramework(FlashEngine):
         raise InexpressibleError("Gemini provides no distributed disjoint-set helper")
 
     # -- kernels ----------------------------------------------------------
-    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label=""):
+    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label="", spec=None):
         _check_edges(edges)
         # Gemini's pull mode has no early-exit condition: fold C into F so
-        # every in-edge is scanned (and charged).
+        # every in-edge is scanned (and charged).  The folded closure is no
+        # longer described by the algorithm's kernel spec, so drop it.
         if C is not None:
             original_f = F
 
@@ -92,17 +93,18 @@ class GeminiFramework(FlashEngine):
 
             F = gated
             C = None
-        return super().edge_map_dense(subset, edges, F, M, C, label=label)
+            spec = None
+        return super().edge_map_dense(subset, edges, F, M, C, label=label, spec=spec)
 
-    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label="", spec=None):
         _check_edges(edges)
-        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label)
+        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label, spec=spec)
 
-    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label="", spec=None):
         _check_edges(edges)
         if R is None:
             raise InexpressibleError(
                 "Gemini's push/pull loop requires an associative, commutative "
                 "reduction"
             )
-        return super().edge_map(subset, edges, F, M, C, R, label=label)
+        return super().edge_map(subset, edges, F, M, C, R, label=label, spec=spec)

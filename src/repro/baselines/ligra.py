@@ -69,17 +69,17 @@ class LigraEngine(FlashEngine):
     def collect(self, items_per_vertex, label: str = "reduce"):
         raise InexpressibleError("Ligra has no distributed gather primitive")
 
-    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label=""):
+    def edge_map_dense(self, subset, edges, F=None, M=None, C=None, label="", spec=None):
         _check_edges(edges)
-        return super().edge_map_dense(subset, edges, F, M, C, label=label)
+        return super().edge_map_dense(subset, edges, F, M, C, label=label, spec=spec)
 
-    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+    def edge_map_sparse(self, subset, edges, F=None, M=None, C=None, R=None, label="", spec=None):
         _check_edges(edges)
-        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label)
+        return super().edge_map_sparse(subset, edges, F, M, C, R, label=label, spec=spec)
 
-    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label=""):
+    def edge_map(self, subset, edges, F=None, M=None, C=None, R=None, label="", spec=None):
         _check_edges(edges)
-        return super().edge_map(subset, edges, F, M, C, R, label=label)
+        return super().edge_map(subset, edges, F, M, C, R, label=label, spec=spec)
 
     # -- shared-memory extras ---------------------------------------------
     def adjacency(self, vid: int) -> np.ndarray:

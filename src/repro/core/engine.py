@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.analysis import analyze_edge_map, analyze_vertex_map
 from repro.core.dsu import DSU
 from repro.core.edgeset import BaseEdges, EdgeSet
@@ -32,6 +34,9 @@ from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostBreakdown, CostModel
 from repro.runtime.flashware import Flashware, FlashwareOptions
 from repro.runtime.metrics import Metrics
+from repro.runtime.vectorized import kernels as _vec
+from repro.runtime.vectorized.dispatch import default_backend, validate_backend
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
 
 VertexFn = Callable[..., Any]
 
@@ -64,10 +69,19 @@ class FlashEngine:
         dense_threshold: Optional[int] = None,
         partition_strategy: str = "hash",
         auto_analyze: bool = True,
+        backend: Optional[str] = None,
     ):
         self.graph = graph
+        if backend is None:
+            backend = default_backend()
+        self.backend = validate_backend(backend)
+        self._vectorize = backend in ("vectorized", "auto")
         self.flashware = Flashware(
-            graph, num_workers, options=options, partition_strategy=partition_strategy
+            graph,
+            num_workers,
+            options=options,
+            partition_strategy=partition_strategy,
+            typed_state=self._vectorize,
         )
         # Ligra's heuristic: go dense when active work exceeds |arcs| / 20.
         if dense_threshold is None:
@@ -76,6 +90,7 @@ class FlashEngine:
         self.auto_analyze = auto_analyze
         self._E = BaseEdges()
         self._owner = self.flashware.partition.owner_of
+        self._out_degree_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -121,8 +136,12 @@ class FlashEngine:
         self.flashware.state.add_property(name, default=default, factory=factory)
 
     def values(self, name: str) -> List[Any]:
-        """A copy of the current column for property ``name``."""
-        return list(self.flashware.state.column(name))
+        """A copy of the current column for property ``name``, always as
+        a plain Python list of Python values (backend-independent)."""
+        column = self.flashware.state.column(name)
+        if isinstance(column, np.ndarray):
+            return column.tolist()
+        return list(column)
 
     def drop_property(self, name: str) -> None:
         """Remove a property (lets two algorithms share one engine when
@@ -161,13 +180,31 @@ class FlashEngine:
         F: Optional[VertexFn] = None,
         M: Optional[VertexFn] = None,
         label: str = "",
+        spec: Optional[VertexMapSpec] = None,
     ) -> VertexSubset:
         """Apply ``M`` to each vertex of ``subset`` passing ``F``; return
-        the subset of vertices that passed ``F``."""
+        the subset of vertices that passed ``F``.
+
+        ``spec`` optionally declares the superstep's computation for the
+        vectorized backend; it is ignored on the interpreted backend and
+        whenever it cannot be applied (fallback rules in
+        ``docs/performance.md``)."""
         fw = self.flashware
         fw.begin_superstep("vertex_map", label, frontier_in=subset.size())
         if self.auto_analyze:
             analyze_vertex_map(self, subset, F, M)
+        if (
+            spec is not None
+            and self._vectorize
+            and _vec.vertex_map_supported(self, spec, F, M)
+        ):
+            self.metrics.note_backend("vectorized")
+            try:
+                return _vec.run_vertex_map(self, subset, F, M, spec)
+            except Exception:
+                fw.abort_superstep()
+                raise
+        self.metrics.note_backend("interp")
         out: List[int] = []
         updates: Dict[int, Dict[str, Any]] = {}
         try:
@@ -204,19 +241,33 @@ class FlashEngine:
         C: Optional[VertexFn] = None,
         R: Optional[VertexFn] = None,
         label: str = "",
+        spec: Optional[EdgeMapSpec] = None,
     ) -> VertexSubset:
         """Adaptive EDGEMAP: dense (pull) when the active set is heavy,
         sparse (push) otherwise (Algorithm 4).  With ``R=None`` the pull
-        mode is forced, since push needs a reduce function (§III-A)."""
+        mode is forced, since push needs a reduce function (§III-A).
+
+        The mode decision depends only on topology and frontier size, so
+        it is identical on every backend; ``spec`` rides along to the
+        chosen kernel."""
         if R is None:
             self.metrics.note_mode("dense")
-            return self.edge_map_dense(subset, edges, F, M, C, label=label)
-        work = edges.out_work(self, subset) + subset.size()
+            return self.edge_map_dense(subset, edges, F, M, C, label=label, spec=spec)
+        work = self._out_work(edges, subset) + subset.size()
         if work > self.dense_threshold:
             self.metrics.note_mode("dense")
-            return self.edge_map_dense(subset, edges, F, M, C, label=label)
+            return self.edge_map_dense(subset, edges, F, M, C, label=label, spec=spec)
         self.metrics.note_mode("sparse")
-        return self.edge_map_sparse(subset, edges, F, M, C, R, label=label)
+        return self.edge_map_sparse(subset, edges, F, M, C, R, label=label, spec=spec)
+
+    def _out_work(self, edges: EdgeSet, subset: VertexSubset) -> int:
+        """``edges.out_work`` with a bulk fast path for the plain edge
+        set ``E`` (whose work is just the frontier's out-degree sum)."""
+        if type(edges) is BaseEdges:
+            if self._out_degree_cache is None:
+                self._out_degree_cache = self.graph.out_degrees()
+            return int(self._out_degree_cache[subset._sorted].sum())
+        return edges.out_work(self, subset)
 
     def edge_map_dense(
         self,
@@ -226,6 +277,7 @@ class FlashEngine:
         M: Optional[VertexFn] = None,
         C: Optional[VertexFn] = None,
         label: str = "",
+        spec: Optional[EdgeMapSpec] = None,
     ) -> VertexSubset:
         """The pull kernel (Algorithm 5): every candidate target scans its
         in-neighbors in the active set and applies ``M`` sequentially to
@@ -237,6 +289,18 @@ class FlashEngine:
         fw.begin_superstep("edge_map_dense", label, frontier_in=subset.size())
         if self.auto_analyze:
             analyze_edge_map(self, "edge_map_dense", subset, edges, F, M, C, None)
+        if (
+            spec is not None
+            and self._vectorize
+            and _vec.edge_map_supported(self, edges, spec, "dense", F, C)
+        ):
+            self.metrics.note_backend("vectorized")
+            try:
+                return _vec.run_edge_map_dense(self, subset, spec)
+            except Exception:
+                fw.abort_superstep()
+                raise
+        self.metrics.note_backend("interp")
 
         candidates = edges.candidate_targets(self)
         if candidates is None:
@@ -291,6 +355,7 @@ class FlashEngine:
         C: Optional[VertexFn] = None,
         R: Optional[VertexFn] = None,
         label: str = "",
+        spec: Optional[EdgeMapSpec] = None,
     ) -> VertexSubset:
         """The push kernel (Algorithm 6): active sources produce temporary
         target values, which are folded into the target's next state with
@@ -307,6 +372,19 @@ class FlashEngine:
         fw.begin_superstep("edge_map_sparse", label, frontier_in=subset.size())
         if self.auto_analyze:
             analyze_edge_map(self, "edge_map_sparse", subset, edges, F, M, C, R)
+        if (
+            spec is not None
+            and self._vectorize
+            and spec.kind == "reduce"
+            and _vec.edge_map_supported(self, edges, spec, "sparse", F, C)
+        ):
+            self.metrics.note_backend("vectorized")
+            try:
+                return _vec.run_edge_map_sparse(self, subset, spec)
+            except Exception:
+                fw.abort_superstep()
+                raise
+        self.metrics.note_backend("interp")
 
         temps: Dict[int, List[Tuple[Dict[str, Any], int]]] = {}
         out: Set[int] = set()

@@ -132,6 +132,13 @@ class Graph:
             return 1.0
         return float(self._weights[arc_id])
 
+    def arc_weights(self, arc_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`edge_weight`: weights for an array of arc
+        ids (all 1.0 for unweighted graphs)."""
+        if self._weights is None:
+            return np.ones(len(arc_ids), dtype=np.float64)
+        return self._weights[arc_ids]
+
     def weight(self, s: int, d: int) -> float:
         """Weight of the arc ``s -> d`` (1.0 for unweighted graphs)."""
         neighbors, arcs = self._out.neighbor_arcs(s)

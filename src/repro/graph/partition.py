@@ -34,6 +34,11 @@ class PartitionMap:
             np.nonzero(self._owner == p)[0] for p in range(num_partitions)
         ]
         self._neighbor_mirrors: List[FrozenSet[int]] = self._compute_neighbor_mirrors()
+        self._neighbor_mirror_counts: np.ndarray = np.fromiter(
+            (len(m) for m in self._neighbor_mirrors),
+            dtype=np.int64,
+            count=graph.num_vertices,
+        )
 
     def _compute_neighbor_mirrors(self) -> List[FrozenSet[int]]:
         """For each vertex, the partitions (other than its owner) holding at
@@ -76,6 +81,11 @@ class PartitionMap:
         """Partitions holding a *necessary* mirror of ``v`` (those with at
         least one neighbor of ``v``)."""
         return self._neighbor_mirrors[v]
+
+    def neighbor_mirror_counts(self) -> np.ndarray:
+        """``len(neighbor_mirrors(v))`` for every vertex as one array —
+        the vectorized barrier charges sync messages from it."""
+        return self._neighbor_mirror_counts
 
     def all_mirrors(self, v: int) -> FrozenSet[int]:
         """Every remote partition — used when virtual edges force a full

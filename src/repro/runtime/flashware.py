@@ -24,8 +24,11 @@ measurements observe (see DESIGN.md §5).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Set
+from typing import Any, Dict, Iterable, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.partition import PartitionMap, partition_graph
@@ -70,6 +73,7 @@ class Flashware:
         options: Optional[FlashwareOptions] = None,
         partition_strategy: str = "hash",
         partition: Optional[PartitionMap] = None,
+        typed_state: bool = False,
     ):
         self.graph = graph
         self.options = options or FlashwareOptions()
@@ -80,7 +84,12 @@ class Flashware:
         else:
             self.partition = partition_graph(graph, num_workers, partition_strategy)
         self.metrics = Metrics(self.partition.num_partitions)
-        self.state = VertexState(graph.num_vertices)
+        if typed_state:
+            from repro.runtime.vectorized.state import TypedVertexState
+
+            self.state: VertexState = TypedVertexState(graph.num_vertices)
+        else:
+            self.state = VertexState(graph.num_vertices)
         self._critical: Set[str] = set()
         self._analyzed: Set[str] = set()
         self._current: Optional[SuperstepRecord] = None
@@ -193,6 +202,126 @@ class Flashware:
         self._current = None
         return changed_vids
 
+    def barrier_columnar(
+        self,
+        ids: Any,
+        updates: Dict[str, Any],
+        reduce_pairs: Optional[Tuple[Any, Any]] = None,
+        broadcast_all: bool = False,
+        frontier_out: int = 0,
+    ) -> None:
+        """Columnar twin of :meth:`barrier` used by the vectorized
+        kernels: same accounting, bulk arrays instead of per-vertex
+        dicts.
+
+        Parameters
+        ----------
+        ids:
+            Sorted array of vertex ids with staged updates.
+        updates:
+            ``{prop: column}`` where each column is parallel to ``ids``
+            — a NumPy array for scalar properties or a Python list for
+            object-valued ones.
+        reduce_pairs:
+            For push mode, the distinct ``(target, contributing
+            partition)`` pairs as two parallel arrays; remote pairs are
+            charged as the mirror→master reduce round exactly as
+            :meth:`barrier` charges ``contributors``.
+        """
+        rec = self._current
+        if rec is None:
+            raise RuntimeError("barrier_columnar() called outside a superstep")
+        ids = np.asarray(ids, dtype=np.int64)
+        n_ids = len(ids)
+        state = self.state
+        part = self.partition
+        owners = part.owners()
+
+        # ---- pass 1: validate, compute changed masks and payload sizes
+        changed_masks: Dict[str, np.ndarray] = {}
+        payloads: Dict[str, Optional[np.ndarray]] = {}
+        for name, new in updates.items():
+            col = state.column(name)
+            if isinstance(col, np.ndarray) and isinstance(new, np.ndarray):
+                if not np.can_cast(new.dtype, col.dtype, casting="same_kind"):
+                    raise RuntimeError(
+                        f"columnar update for {name!r} has dtype {new.dtype} "
+                        f"incompatible with column dtype {col.dtype}"
+                    )
+                mask = col[ids] != new
+                payloads[name] = None  # scalar payload == 1
+            else:
+                mask = np.zeros(n_ids, dtype=bool)
+                pay = np.ones(n_ids, dtype=np.int64)
+                if isinstance(col, np.ndarray):
+                    raise RuntimeError(
+                        f"columnar update for {name!r} is object-valued but "
+                        "the column is an array"
+                    )
+                for i, vid in enumerate(ids.tolist()):
+                    value = new[i]
+                    pay[i] = payload_size(value)
+                    if not values_equal(col[vid], value):
+                        mask[i] = True
+                payloads[name] = pay
+            changed_masks[name] = mask
+
+        # ---- reduce round (push mode): charged for every updated vertex
+        # with remote contributors, changed or not (as in barrier())
+        if reduce_pairs is not None and n_ids:
+            ptgt = np.asarray(reduce_pairs[0], dtype=np.int64)
+            ppart = np.asarray(reduce_pairs[1], dtype=np.int64)
+            remote = ppart != owners[ptgt]
+            rtgt = ptgt[remote]
+            if len(rtgt):
+                rec.reduce_messages += int(len(rtgt))
+                size = np.zeros(n_ids, dtype=np.int64)
+                for name in updates:
+                    pay = payloads[name]
+                    size += pay if pay is not None else 1
+                np.maximum(size, 1, out=size)
+                rec.reduce_values += int(size[np.searchsorted(ids, rtgt)].sum())
+
+        # ---- commit + sync round
+        if broadcast_all or not self.options.necessary_mirrors_only:
+            mirror_counts = np.full(
+                self.graph.num_vertices, part.num_partitions - 1, dtype=np.int64
+            )
+        else:
+            mirror_counts = part.neighbor_mirror_counts()
+
+        any_synced = np.zeros(n_ids, dtype=bool)
+        sync_values = 0
+        for name, new in updates.items():
+            mask = changed_masks[name]
+            if not mask.any():
+                continue
+            changed_ids = ids[mask]
+            col = state.column(name)
+            if isinstance(col, np.ndarray) and isinstance(new, np.ndarray):
+                col[changed_ids] = new[mask]
+            else:
+                for i in np.flatnonzero(mask).tolist():
+                    col[int(ids[i])] = new[i]
+            if not self.options.sync_critical_only or name in self._critical:
+                any_synced |= mask
+                counts = mirror_counts[changed_ids]
+                pay = payloads[name]
+                if pay is None:
+                    sync_values += int(counts.sum())
+                else:
+                    sync_values += int((counts * pay[mask]).sum())
+            else:
+                self._unsynced.setdefault(name, set()).update(
+                    int(v) for v in changed_ids.tolist()
+                )
+        if any_synced.any():
+            rec.sync_messages += int(mirror_counts[ids[any_synced]].sum())
+            rec.sync_values += sync_values
+
+        rec.frontier_out = frontier_out
+        self._current = None
+
     def abort_superstep(self) -> None:
         """Close the current superstep without committing (used when a
         kernel raises)."""
@@ -248,11 +377,9 @@ class Flashware:
         runtime writes for failure recovery."""
         if self._current is not None:
             raise RuntimeError("checkpoint only at a superstep boundary")
-        import copy
-
         return {
             "columns": {
-                name: copy.deepcopy(self.state.column(name))
+                name: self._copy_column(self.state.column(name))
                 for name in self.state.property_names
             },
             "critical": set(self._critical),
@@ -260,20 +387,36 @@ class Flashware:
             "unsynced": {k: set(v) for k, v in self._unsynced.items()},
         }
 
+    @staticmethod
+    def _copy_column(column: Any) -> Any:
+        """One whole-column copy: scalar NumPy columns copy as a single
+        buffer; object columns need a deep copy (vertices own mutable
+        sets/lists) but in one call over the column, not a Python loop
+        per vertex."""
+        if isinstance(column, np.ndarray):
+            return column.copy()
+        return copy.deepcopy(column)
+
     def restore(self, snapshot: Dict[str, Any]) -> None:
         """Roll the committed state back to a checkpoint (properties
         created after the checkpoint are left untouched)."""
         if self._current is not None:
             raise RuntimeError("restore only at a superstep boundary")
-        import copy
-
         for name, column in snapshot["columns"].items():
             if not self.state.has_property(name):
                 continue
             live = self.state.column(name)
-            restored = copy.deepcopy(column)
-            for vid in range(len(live)):
-                live[vid] = restored[vid]
+            restored = self._copy_column(column)
+            if isinstance(live, np.ndarray) and isinstance(restored, np.ndarray):
+                live[:] = restored
+            elif isinstance(live, list) and isinstance(restored, np.ndarray):
+                # the column was demoted to a list after the checkpoint
+                live[:] = restored.tolist()
+            elif isinstance(live, np.ndarray):
+                for vid in range(len(live)):
+                    live[vid] = restored[vid]
+            else:
+                live[:] = restored
         self._critical = set(snapshot["critical"])
         self._analyzed = set(snapshot["analyzed"])
         self._unsynced = {k: set(v) for k, v in snapshot["unsynced"].items()}

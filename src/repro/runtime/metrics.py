@@ -63,6 +63,7 @@ class Metrics:
         self.num_workers = num_workers
         self.records: List[SuperstepRecord] = []
         self.mode_choices: Dict[str, int] = {}  # dense/sparse decisions of EDGEMAP
+        self.backend_choices: Dict[str, int] = {}  # interp/vectorized per superstep
 
     # ------------------------------------------------------------------
     def new_record(self, kind: str, label: str = "") -> SuperstepRecord:
@@ -79,9 +80,15 @@ class Metrics:
         """Record an EDGEMAP dense/sparse auto-switch decision."""
         self.mode_choices[mode] = self.mode_choices.get(mode, 0) + 1
 
+    def note_backend(self, backend: str) -> None:
+        """Record which execution backend ran a superstep (``interp`` or
+        ``vectorized`` — the dispatcher decides per superstep)."""
+        self.backend_choices[backend] = self.backend_choices.get(backend, 0) + 1
+
     def reset(self) -> None:
         self.records.clear()
         self.mode_choices.clear()
+        self.backend_choices.clear()
 
     # ------------------------------------------------------------------
     # Totals
@@ -114,13 +121,29 @@ class Metrics:
         """Input frontier sizes per superstep (optionally one kind only)."""
         return [r.frontier_in for r in self.records if kind is None or r.kind == kind]
 
+    @property
+    def total_reduce_messages(self) -> int:
+        return sum(r.reduce_messages for r in self.records)
+
+    @property
+    def total_sync_messages(self) -> int:
+        return sum(r.sync_messages for r in self.records)
+
     def summary(self) -> Dict[str, int]:
-        """A dict of headline totals (handy for asserts and reports)."""
+        """A dict of headline totals (handy for asserts and reports),
+        including the reduce/sync split of §IV-A and the EDGEMAP
+        dense/sparse mode decisions."""
         return {
             "supersteps": self.num_supersteps,
             "ops": self.total_ops,
             "messages": self.total_messages,
             "values": self.total_values,
+            "reduce_messages": self.total_reduce_messages,
+            "sync_messages": self.total_sync_messages,
+            "reduce_values": self.total_reduce_values,
+            "sync_values": self.total_sync_values,
+            "dense_supersteps": self.mode_choices.get("dense", 0),
+            "sparse_supersteps": self.mode_choices.get("sparse", 0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -102,5 +102,14 @@ class VertexState:
         reserved for result extraction and tests)."""
         return self._columns[name]
 
+    def array(self, name: str):
+        """The live column as a NumPy array, or ``None`` when the column
+        has no array representation.  The interpreted state stores plain
+        Python lists, so this always returns ``None`` here; the vectorized
+        :class:`~repro.runtime.vectorized.state.TypedVertexState` overrides
+        it.  Kernel dispatch uses this to decide whether a property can be
+        processed columnar."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"VertexState(n={self._n}, properties={sorted(self._columns)})"

@@ -1,0 +1,41 @@
+"""Vectorized (NumPy columnar) execution tier.
+
+This package is the second execution backend underneath
+:class:`~repro.core.engine.FlashEngine`:
+
+* :class:`~repro.runtime.vectorized.state.TypedVertexState` — vertex
+  properties as dtype-inferred NumPy columns, interchangeable with the
+  interpreted :class:`~repro.runtime.state.VertexState`;
+* :mod:`~repro.runtime.vectorized.specs` — declarative kernel specs that
+  algorithms attach to ``vertex_map``/``edge_map`` calls;
+* :mod:`~repro.runtime.vectorized.kernels` — push/pull EDGEMAP and
+  VERTEXMAP kernels over the existing CSR with ``min``/``max``/``sum``/
+  ``or`` reductions, accounting-equivalent to the interpreted path;
+* :mod:`~repro.runtime.vectorized.dispatch` — process-wide default
+  backend selection (``use_backend`` / ``default_backend``).
+
+Any superstep whose spec cannot be applied (non-``E`` edge sets, a
+property demoted to an object column, a missing spec) transparently falls
+back to the interpreted path — results and metrics are identical either
+way.
+"""
+
+from repro.runtime.vectorized.dispatch import (
+    BACKENDS,
+    default_backend,
+    use_backend,
+    validate_backend,
+)
+from repro.runtime.vectorized.specs import NOT_SET, EdgeMapSpec, VertexMapSpec
+from repro.runtime.vectorized.state import TypedVertexState
+
+__all__ = [
+    "BACKENDS",
+    "EdgeMapSpec",
+    "NOT_SET",
+    "TypedVertexState",
+    "VertexMapSpec",
+    "default_backend",
+    "use_backend",
+    "validate_backend",
+]

@@ -1,0 +1,61 @@
+"""Process-wide backend selection.
+
+The engine picks its execution backend at construction time
+(``FlashEngine(..., backend=...)``).  Algorithms that build nested
+engines internally (BC, SCC, BCC build sub-engines per phase) inherit
+the ambient default instead, which callers set with
+:func:`use_backend`::
+
+    with use_backend("vectorized"):
+        result = bfs(graph, root=0)
+
+Backends
+--------
+``interp``
+    The original per-vertex interpreted path (pure Python).
+``vectorized``
+    NumPy columnar state + vectorized kernels for supersteps that carry a
+    matching spec; everything else falls back to the interpreted kernels
+    (running on the typed state) within the same run.
+``auto``
+    Alias for ``vectorized`` — the dispatcher already falls back
+    per-superstep, so "use vectorized whenever possible" is the auto
+    policy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+BACKENDS = ("interp", "vectorized", "auto")
+
+_default_backend = "interp"
+
+
+def validate_backend(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The backend new engines use when none is passed explicitly."""
+    return _default_backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily change the default backend for engines constructed
+    inside the ``with`` block (including engines nested inside
+    algorithms)."""
+    global _default_backend
+    validate_backend(name)
+    prev = _default_backend
+    _default_backend = name
+    try:
+        yield name
+    finally:
+        _default_backend = prev

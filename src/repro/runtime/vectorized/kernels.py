@@ -1,0 +1,506 @@
+"""Vectorized EDGEMAP / VERTEXMAP kernels over the CSR.
+
+Each kernel reproduces the interpreted kernel's *observable behavior*
+exactly — the returned frontier, the committed property values, and the
+full accounting (per-worker ops, reduce/sync messages and values) — so a
+run is bitwise comparable across backends.  The correspondences:
+
+``run_vertex_map``        ↔ ``FlashEngine.vertex_map``
+``run_edge_map_sparse``   ↔ ``FlashEngine.edge_map_sparse`` (push)
+``run_edge_map_dense``    ↔ ``FlashEngine.edge_map_dense``  (pull)
+
+Accounting equivalences worth spelling out (derived from the
+interpreted kernels; the parity test sweeps them):
+
+* sparse: one op per enumerated out-edge of the frontier charged to the
+  source's owner (the C evaluation), one more per M-passing edge, and
+  one per temp charged to the target's owner (the R fold); the reduce
+  round charges one message per *remote contributing partition* per
+  touched target.
+* dense, no C: every candidate target scans its full in-neighbor list —
+  one op per in-arc charged to the target's owner.
+* dense with a write-once C (``cond_unvisited``): an already-visited
+  target with in-degree > 0 costs exactly 1 op (charge, C fails,
+  break); an unvisited target whose first active in-neighbor sits at
+  position ``p`` of its in-list costs ``min(p + 2, indeg)`` (scan to
+  ``p``, apply, one more charge before C breaks); an unvisited target
+  with no active in-neighbor costs its full in-degree.
+* floating-point reductions: ``sum`` is applied with ``np.add.at`` on a
+  snapshot-copy accumulator in ascending arc order — the same sequential
+  left fold the interpreted scan performs, so float results are
+  bit-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.edgeset import BaseEdges
+from repro.core.primitives import ctrue
+from repro.core.subset import VertexSubset
+from repro.errors import FlashUsageError
+from repro.runtime.vectorized.specs import NOT_SET, EdgeMapSpec, VertexMapSpec
+
+_UFUNCS = {
+    "min": np.minimum,
+    "max": np.maximum,
+    "sum": np.add,
+    "or": np.logical_or,
+}
+
+_MAXI = np.iinfo(np.int64).max
+
+
+class _VecContext:
+    """Per-engine cache of CSR-derived arrays the kernels need."""
+
+    def __init__(self, engine):
+        g = engine.graph
+        part = engine.flashware.partition
+        self.graph = g
+        self.n = g.num_vertices
+        self.P = part.num_partitions
+        self.owners = part.owners()
+        self.out_indptr = g.out_csr.indptr
+        self.out_indices = g.out_csr.indices
+        self.in_indptr = g.in_csr.indptr
+        self.in_indices = g.in_csr.indices
+        self.out_degrees = np.diff(self.out_indptr)
+        self.in_degrees = np.diff(self.in_indptr)
+        # target vertex of every in-arc, in CSR (target-major) order
+        self.in_targets = np.repeat(
+            np.arange(self.n, dtype=np.int64), self.in_degrees
+        )
+        self._frontier_mask = np.zeros(self.n, dtype=bool)
+        self._out_w: Optional[np.ndarray] = None
+        self._in_w: Optional[np.ndarray] = None
+
+    def out_arc_weights(self) -> np.ndarray:
+        if self._out_w is None:
+            self._out_w = self.graph.arc_weights(self.graph.out_csr.arc_ids)
+        return self._out_w
+
+    def in_arc_weights(self) -> np.ndarray:
+        if self._in_w is None:
+            self._in_w = self.graph.arc_weights(self.graph.in_csr.arc_ids)
+        return self._in_w
+
+
+def get_ctx(engine) -> _VecContext:
+    ctx = getattr(engine, "_vec_ctx", None)
+    if ctx is None:
+        ctx = _VecContext(engine)
+        engine._vec_ctx = ctx
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# Batch views handed to spec callables
+# ----------------------------------------------------------------------
+class EdgeBatch:
+    """A batch of edges: parallel ``src`` / ``dst`` id arrays plus typed
+    property access.  ``direction`` is ``"out"`` for push (sparse) and
+    ``"in"`` for pull (dense) enumeration — it selects which CSR's arc
+    weights ``w`` refers to."""
+
+    __slots__ = ("_ctx", "_state", "src", "dst", "_pos", "_direction")
+
+    def __init__(self, ctx, state, src, dst, pos, direction):
+        self._ctx = ctx
+        self._state = state
+        self.src = src
+        self.dst = dst
+        self._pos = pos
+        self._direction = direction
+
+    def sp(self, name: str) -> np.ndarray:
+        """Source-vertex values of property ``name``."""
+        return self._state.array(name)[self.src]
+
+    def dp(self, name: str) -> np.ndarray:
+        """Target-vertex values of property ``name`` (current snapshot)."""
+        return self._state.array(name)[self.dst]
+
+    @property
+    def w(self) -> np.ndarray:
+        """Per-edge weights (1.0 when the graph is unweighted)."""
+        if self._direction == "out":
+            return self._ctx.out_arc_weights()[self._pos]
+        return self._ctx.in_arc_weights()[self._pos]
+
+    @property
+    def src_out_deg(self) -> np.ndarray:
+        return self._ctx.out_degrees[self.src]
+
+    @property
+    def src_in_deg(self) -> np.ndarray:
+        return self._ctx.in_degrees[self.src]
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+class VertexBatch:
+    """A batch of vertices (the subset a VERTEXMAP runs over)."""
+
+    __slots__ = ("_ctx", "_state", "ids")
+
+    def __init__(self, ctx, state, ids):
+        self._ctx = ctx
+        self._state = state
+        self.ids = ids
+
+    def p(self, name: str) -> np.ndarray:
+        """Property values at the batch's vertices."""
+        return self._state.array(name)[self.ids]
+
+    def raw(self, name: str):
+        """The live (whole-graph) column — object columns included."""
+        return self._state.column(name)
+
+    @property
+    def deg(self) -> np.ndarray:
+        return self._ctx.graph.degrees()[self.ids]
+
+    @property
+    def out_deg(self) -> np.ndarray:
+        return self._ctx.out_degrees[self.ids]
+
+    @property
+    def in_deg(self) -> np.ndarray:
+        return self._ctx.in_degrees[self.ids]
+
+    @property
+    def n(self) -> int:
+        return self._ctx.n
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+# ----------------------------------------------------------------------
+# Dispatch predicates
+# ----------------------------------------------------------------------
+def _always_true(fn) -> bool:
+    return fn is None or fn is ctrue
+
+
+def vertex_map_supported(engine, spec: VertexMapSpec, F, M) -> bool:
+    state = engine.flashware.state
+    if (M is None) != (spec.map is None):
+        return False
+    if spec.filter is None and not _always_true(F):
+        return False
+    for name in spec.reads:
+        if state.array(name) is None:
+            return False
+    for name in spec.raw_reads:
+        if not state.has_property(name):
+            return False
+    return True
+
+
+def edge_map_supported(engine, edges, spec: EdgeMapSpec, mode: str, F, C) -> bool:
+    if type(edges) is not BaseEdges:
+        return False
+    state = engine.flashware.state
+    if spec.f is None and not _always_true(F):
+        return False
+    if spec.cond_unvisited is NOT_SET and not _always_true(C):
+        return False
+    for name in spec.reads:
+        if state.array(name) is None:
+            return False
+    for name in spec.raw_reads:
+        if not state.has_property(name):
+            return False
+    if not state.has_property(spec.prop):
+        return False
+    if spec.kind == "gather":
+        # gather appends into a list-valued column; pull mode only
+        return mode == "dense" and state.array(spec.prop) is None
+    return state.array(spec.prop) is not None
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _add_ops(rec, per_worker: np.ndarray) -> None:
+    ops = rec.worker_ops
+    for w, count in enumerate(per_worker[: len(ops)]):
+        if count:
+            ops[w] += int(count)
+
+
+def _subset_ids(subset: VertexSubset) -> np.ndarray:
+    return np.asarray(subset._sorted, dtype=np.int64)
+
+
+def _eval_value(spec: EdgeMapSpec, batch: EdgeBatch) -> np.ndarray:
+    if callable(spec.value):
+        vals = np.asarray(spec.value(batch))
+    else:
+        dtype = np.bool_ if spec.reduce == "or" else None
+        vals = np.full(len(batch), spec.value, dtype=dtype)
+    if len(vals) != len(batch):
+        raise FlashUsageError("spec value returned a wrong-length array")
+    return vals
+
+
+# ----------------------------------------------------------------------
+# VERTEXMAP
+# ----------------------------------------------------------------------
+def run_vertex_map(engine, subset, F, M, spec: VertexMapSpec) -> VertexSubset:
+    ctx = get_ctx(engine)
+    fw = engine.flashware
+    state = fw.state
+    rec = fw._current
+    ids = _subset_ids(subset)
+
+    if F is not None:
+        _add_ops(rec, np.bincount(ctx.owners[ids], minlength=ctx.P))
+    if spec.filter is not None:
+        mask = np.asarray(spec.filter(VertexBatch(ctx, state, ids)), dtype=bool)
+        passing = ids[mask]
+    else:
+        passing = ids
+
+    updates = {}
+    if M is not None:
+        _add_ops(rec, np.bincount(ctx.owners[passing], minlength=ctx.P))
+        raw = spec.map(VertexBatch(ctx, state, passing))
+        for name, column in raw.items():
+            if isinstance(column, list):
+                if len(column) != len(passing):
+                    raise FlashUsageError("spec map returned a wrong-length column")
+                updates[name] = column
+            else:
+                arr = np.asarray(column)
+                if arr.ndim == 0:
+                    arr = np.full(len(passing), column)
+                if len(arr) != len(passing):
+                    raise FlashUsageError("spec map returned a wrong-length column")
+                updates[name] = arr
+
+    fw.barrier_columnar(passing, updates, frontier_out=int(len(passing)))
+    return VertexSubset(engine, passing.tolist())
+
+
+# ----------------------------------------------------------------------
+# EDGEMAP — push (sparse)
+# ----------------------------------------------------------------------
+def run_edge_map_sparse(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
+    ctx = get_ctx(engine)
+    fw = engine.flashware
+    state = fw.state
+    rec = fw._current
+    U = _subset_ids(subset)
+
+    counts = ctx.out_degrees[U]
+    total = int(counts.sum())
+    if total:
+        # flat positions of every out-arc of the frontier, frontier order
+        starts = ctx.out_indptr[U]
+        group_first = np.repeat(np.cumsum(counts) - counts, counts)
+        pos = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64) - group_first
+        )
+        srcs = np.repeat(U, counts)
+        dsts = ctx.out_indices[pos]
+    else:
+        pos = np.empty(0, dtype=np.int64)
+        srcs = np.empty(0, dtype=np.int64)
+        dsts = np.empty(0, dtype=np.int64)
+
+    # one op per enumerated edge (the C evaluation), charged to the source
+    _add_ops(rec, np.bincount(ctx.owners[srcs], minlength=ctx.P))
+
+    if spec.cond_unvisited is not NOT_SET:
+        eligible = state.array(spec.prop)[dsts] == spec.cond_unvisited
+        srcs, dsts, pos = srcs[eligible], dsts[eligible], pos[eligible]
+
+    batch = EdgeBatch(ctx, state, srcs, dsts, pos, "out")
+    vals = _eval_value(spec, batch)
+    if spec.f == "improve":
+        snap = state.array(spec.prop)[dsts]
+        keep = vals < snap if spec.reduce == "min" else vals > snap
+    elif callable(spec.f):
+        keep = np.asarray(spec.f(batch), dtype=bool)
+    else:
+        keep = None
+    if keep is not None:
+        srcs, dsts, vals = srcs[keep], dsts[keep], vals[keep]
+
+    # one op per M-passing edge (source owner), one per temp folded by R
+    # (target owner)
+    _add_ops(rec, np.bincount(ctx.owners[srcs], minlength=ctx.P))
+    _add_ops(rec, np.bincount(ctx.owners[dsts], minlength=ctx.P))
+
+    # group temps by target, keeping the interpreted fold order
+    # (frontier-ascending within each target)
+    order = np.argsort(dsts, kind="stable")
+    dsts = dsts[order]
+    vals = vals[order]
+    src_parts = ctx.owners[srcs][order]
+
+    out_ids = np.unique(dsts)
+    col = state.array(spec.prop)
+    acc = col[out_ids].astype(np.result_type(col.dtype, vals.dtype), copy=True)
+    if len(dsts):
+        slot = np.searchsorted(out_ids, dsts)
+        _UFUNCS[spec.reduce].at(acc, slot, vals)
+
+    # distinct (target, contributing partition) pairs for the reduce round
+    if len(dsts):
+        pairs = np.unique(dsts * ctx.P + src_parts)
+        reduce_pairs = (pairs // ctx.P, pairs % ctx.P)
+    else:
+        reduce_pairs = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    fw.barrier_columnar(
+        out_ids,
+        {spec.prop: acc},
+        reduce_pairs=reduce_pairs,
+        frontier_out=int(len(out_ids)),
+    )
+    return VertexSubset(engine, out_ids.tolist())
+
+
+# ----------------------------------------------------------------------
+# EDGEMAP — pull (dense)
+# ----------------------------------------------------------------------
+def run_edge_map_dense(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
+    ctx = get_ctx(engine)
+    fw = engine.flashware
+    state = fw.state
+    rec = fw._current
+    ids = _subset_ids(subset)
+
+    frontier = ctx._frontier_mask
+    frontier[ids] = True
+    try:
+        srcs = ctx.in_indices
+        tgts = ctx.in_targets
+        active = frontier[srcs]
+        if spec.kind == "gather":
+            return _dense_gather(engine, ctx, state, rec, spec, active)
+        if spec.cond_unvisited is not NOT_SET:
+            return _dense_unvisited(engine, ctx, state, rec, spec, active)
+        return _dense_full(engine, ctx, state, rec, spec, active)
+    finally:
+        frontier[ids] = False
+
+
+def _dense_full(engine, ctx, state, rec, spec, active) -> VertexSubset:
+    """Pull with C = ctrue: every target scans its whole in-list."""
+    fw = engine.flashware
+    srcs, tgts = ctx.in_indices, ctx.in_targets
+
+    arc_idx = np.flatnonzero(active)
+    if callable(spec.f):
+        batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
+        keep = np.asarray(spec.f(batch), dtype=bool)
+        arc_idx = arc_idx[keep]
+
+    batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
+    vals = _eval_value(spec, batch)
+    col = state.array(spec.prop)
+    acc = col.astype(np.result_type(col.dtype, vals.dtype), copy=True)
+    # ascending arc order == the interpreted per-target sequential fold
+    _UFUNCS[spec.reduce].at(acc, tgts[arc_idx], vals)
+
+    touched = np.unique(tgts[arc_idx])
+    if spec.f == "improve":
+        if spec.reduce == "min":
+            applied = touched[acc[touched] < col[touched]]
+        else:
+            applied = touched[acc[touched] > col[touched]]
+    else:
+        applied = touched
+
+    # full scan: one op per in-arc, charged to the target's owner
+    per_worker = np.bincount(ctx.owners, weights=ctx.in_degrees, minlength=ctx.P)
+    _add_ops(rec, per_worker.astype(np.int64))
+
+    fw.barrier_columnar(
+        applied, {spec.prop: acc[applied]}, frontier_out=int(len(applied))
+    )
+    return VertexSubset(engine, applied.tolist())
+
+
+def _dense_unvisited(engine, ctx, state, rec, spec, active) -> VertexSubset:
+    """Pull with a write-once C (``target.prop == sentinel``): the scan
+    stops right after the first applying source (BFS Algorithm 2)."""
+    fw = engine.flashware
+    srcs, tgts = ctx.in_indices, ctx.in_targets
+    col = state.array(spec.prop)
+
+    eligible_t = col == spec.cond_unvisited
+    qual = active & eligible_t[tgts]
+    arc_idx = np.flatnonzero(qual)
+    if callable(spec.f):
+        batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
+        keep = np.asarray(spec.f(batch), dtype=bool)
+        arc_idx = arc_idx[keep]
+
+    first = np.full(ctx.n, _MAXI, dtype=np.int64)
+    np.minimum.at(first, tgts[arc_idx], arc_idx)
+    applied = np.flatnonzero(first < _MAXI)
+    sel = first[applied]
+
+    batch = EdgeBatch(ctx, state, srcs[sel], applied, sel, "in")
+    vals = _eval_value(spec, batch)
+
+    # ops per target (see module docstring for the derivation)
+    indeg = ctx.in_degrees
+    t_ops = np.zeros(ctx.n, dtype=np.int64)
+    visited = ~eligible_t & (indeg > 0)
+    t_ops[visited] = 1
+    t_ops[eligible_t] = indeg[eligible_t]
+    t_ops[applied] = np.minimum(sel - ctx.in_indptr[applied] + 2, indeg[applied])
+    per_worker = np.bincount(ctx.owners, weights=t_ops, minlength=ctx.P)
+    _add_ops(rec, per_worker.astype(np.int64))
+
+    fw.barrier_columnar(
+        applied, {spec.prop: vals}, frontier_out=int(len(applied))
+    )
+    return VertexSubset(engine, applied.tolist())
+
+
+def _dense_gather(engine, ctx, state, rec, spec, active) -> VertexSubset:
+    """Pull that appends each active edge's value to the target's
+    list-valued property (LPA gossip)."""
+    fw = engine.flashware
+    srcs, tgts = ctx.in_indices, ctx.in_targets
+
+    arc_idx = np.flatnonzero(active)
+    if callable(spec.f):
+        batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
+        keep = np.asarray(spec.f(batch), dtype=bool)
+        arc_idx = arc_idx[keep]
+
+    batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
+    vals = _eval_value(spec, batch).tolist()
+
+    t_arr = tgts[arc_idx]
+    counts = np.bincount(t_arr, minlength=ctx.n)
+    touched = np.flatnonzero(counts > 0)
+    col = state.column(spec.prop)
+    new_lists = []
+    start = 0
+    # arc order is target-major, source-ascending — the interpreted
+    # append order — so per-target slices are already in fold order
+    for t, end in zip(touched.tolist(), np.cumsum(counts[touched]).tolist()):
+        base = col[t]
+        new_lists.append(list(base) + vals[start:end] if base else vals[start:end])
+        start = end
+
+    per_worker = np.bincount(ctx.owners, weights=ctx.in_degrees, minlength=ctx.P)
+    _add_ops(rec, per_worker.astype(np.int64))
+
+    fw.barrier_columnar(
+        touched, {spec.prop: new_lists}, frontier_out=int(len(touched))
+    )
+    return VertexSubset(engine, touched.tolist())

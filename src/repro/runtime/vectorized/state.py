@@ -1,0 +1,142 @@
+"""Typed columnar vertex state.
+
+:class:`TypedVertexState` is a drop-in replacement for
+:class:`~repro.runtime.state.VertexState` that stores scalar-valued
+properties (bool/int/float) as NumPy arrays and everything else
+(sets, lists, dicts, ``None``-defaulted properties, factory-built
+collections) as plain Python lists, exactly like the interpreted state.
+
+Two invariants keep the two states interchangeable:
+
+* ``get``/``row`` always return plain Python scalars (``.item()``), never
+  NumPy scalars — user functions and edge-set adaptors (which do
+  ``isinstance(x, int)`` checks) cannot tell the difference.
+* A scalar write that does not fit the column's dtype (a float into an
+  int column, ``inf`` into an int column, an overflowing int, an object)
+  *demotes* the whole column to a Python list and proceeds — semantics
+  degrade gracefully to the interpreted representation instead of
+  raising or silently truncating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.runtime.state import VertexState, _default_copier
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _scalar_dtype(value: Any) -> Optional[np.dtype]:
+    """The NumPy dtype a column initialized with ``value`` should use, or
+    ``None`` when the value needs an object column."""
+    if isinstance(value, bool):
+        return np.dtype(np.bool_)
+    if isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            return np.dtype(np.int64)
+        return None
+    if isinstance(value, float):
+        return np.dtype(np.float64)
+    return None
+
+
+def _fits(value: Any, kind: str) -> bool:
+    """Whether a Python scalar can be stored losslessly in a column of
+    dtype kind ``kind`` ('b' bool, 'i' int64, 'f' float64)."""
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return kind == "b"
+    if isinstance(value, (int, np.integer)):
+        # ints are widened into float columns only when exact
+        if kind == "i":
+            return _INT64_MIN <= value <= _INT64_MAX
+        if kind == "f":
+            return float(value) == value
+        return False
+    if isinstance(value, (float, np.floating)):
+        return kind == "f"
+    return False
+
+
+class TypedVertexState(VertexState):
+    """Columnar vertex state backed by NumPy arrays where possible."""
+
+    def __init__(self, num_vertices: int):
+        super().__init__(num_vertices)
+        # _columns maps name -> np.ndarray OR list (object fallback)
+
+    # ------------------------------------------------------------------
+    def add_property(
+        self,
+        name: str,
+        default: Any = None,
+        factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        if name in self._columns:
+            raise ValueError(f"property {name!r} already exists")
+        if not name.isidentifier() or name.startswith("_"):
+            raise ValueError(f"property name {name!r} must be a public identifier")
+        make = factory if factory is not None else _default_copier(default)
+        self._factories[name] = make
+        self._columns[name] = self._build_column(default, factory)
+
+    def _build_column(self, default: Any, factory: Optional[Callable[[], Any]]):
+        if factory is None:
+            dtype = _scalar_dtype(default)
+            if dtype is not None:
+                return np.full(self._n, default, dtype=dtype)
+            make = _default_copier(default)
+            return [make() for _ in range(self._n)]
+        return [factory() for _ in range(self._n)]
+
+    def reset_property(self, name: str) -> None:
+        make = self._factories[name]
+        col = self._columns[name]
+        if isinstance(col, np.ndarray):
+            value = make()
+            if _fits(value, col.dtype.kind):
+                col[:] = value
+                return
+        self._columns[name] = [make() for _ in range(self._n)]
+
+    # ------------------------------------------------------------------
+    def get(self, vid: int, name: str) -> Any:
+        col = self._columns[name]
+        if isinstance(col, np.ndarray):
+            return col[vid].item()
+        return col[vid]
+
+    def set(self, vid: int, name: str, value: Any) -> None:
+        col = self._columns[name]
+        if isinstance(col, np.ndarray):
+            if _fits(value, col.dtype.kind):
+                col[vid] = value
+                return
+            # Demote to the interpreted representation; the kernel
+            # dispatcher will fall back to the interpreted path for this
+            # property from now on.
+            col = col.tolist()
+            self._columns[name] = col
+        col[vid] = value
+
+    def row(self, vid: int) -> Dict[str, Any]:
+        return {name: self.get(vid, name) for name in self._columns}
+
+    def array(self, name: str) -> Optional[np.ndarray]:
+        """The live NumPy column for ``name``, or ``None`` when the
+        property is stored as an object list (collections, mixed types,
+        demoted columns)."""
+        col = self._columns.get(name)
+        if isinstance(col, np.ndarray):
+            return col
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kinds = {
+            name: (col.dtype.name if isinstance(col, np.ndarray) else "object")
+            for name, col in self._columns.items()
+        }
+        return f"TypedVertexState(n={self._n}, columns={kinds})"

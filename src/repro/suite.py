@@ -11,6 +11,7 @@ advanced algorithm, etc.).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -18,6 +19,7 @@ from repro import algorithms as A
 from repro.baselines.registry import SUITES
 from repro.errors import InexpressibleError, ReproError
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.dispatch import use_backend
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostBreakdown, CostModel
 from repro.runtime.metrics import Metrics
@@ -85,8 +87,18 @@ _FLASH_RUNNERS: Dict[str, Callable] = {
 }
 
 
-def run_app(framework: str, app: str, graph: Graph, num_workers: int = 4) -> Optional[SuiteRun]:
+def run_app(
+    framework: str,
+    app: str,
+    graph: Graph,
+    num_workers: int = 4,
+    backend: Optional[str] = None,
+) -> Optional[SuiteRun]:
     """Run one application on one framework.
+
+    ``backend`` selects the FLASH execution backend (``interp`` /
+    ``vectorized`` / ``auto``); ``None`` keeps the ambient default.
+    Baselines always interpret.
 
     Returns ``None`` when the framework cannot express the application
     (the paper's "—" cells); propagates real failures.
@@ -95,7 +107,9 @@ def run_app(framework: str, app: str, graph: Graph, num_workers: int = 4) -> Opt
         raise ValueError(f"unknown app {app!r}; expected one of {APPS}")
     try:
         if framework == "flash":
-            result = _FLASH_RUNNERS[app](graph, num_workers)
+            context = use_backend(backend) if backend is not None else nullcontext()
+            with context:
+                result = _FLASH_RUNNERS[app](graph, num_workers)
             return SuiteRun("flash", app, result.engine.metrics, result.values, dict(result.extra))
         runner = SUITES[framework].get(app)
         if runner is None:

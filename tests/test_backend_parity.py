@@ -1,0 +1,193 @@
+"""Backend parity: the vectorized NumPy executor must be observationally
+identical to the interpreted one — same results, same superstep count,
+and the same message/value accounting — across the whole Table IV suite.
+
+The six explicitly spec'd algorithms (CC, BFS, SSSP, PageRank, k-core,
+LPA) are additionally held to *full* summary equality (ops and the
+reduce/sync and dense/sparse splits included), and must actually take
+the vectorized path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import load_dataset, random_graph
+from repro.__main__ import main
+from repro.algorithms import (
+    bfs, cc_basic, kcore_basic, kcore_opt, lpa, pagerank, sssp,
+)
+from repro.core.engine import FlashEngine
+from repro.runtime.flashware import FlashwareOptions
+from repro.runtime.vectorized import TypedVertexState, use_backend
+from repro.suite import APPS, DIRECTED_APPS, prepare_graph, run_app
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(40, 120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def weighted(graph):
+    return graph.with_random_weights(seed=7)
+
+
+def _pair(fn, *args, **kwargs):
+    """Run an algorithm under both backends; return both results."""
+    with use_backend("interp"):
+        a = fn(*args, **kwargs)
+    with use_backend("vectorized"):
+        b = fn(*args, **kwargs)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# Whole-suite sweep
+# ---------------------------------------------------------------------------
+class TestSuiteParity:
+    @pytest.mark.parametrize("app", APPS)
+    def test_app_parity(self, app, graph):
+        g = graph
+        if app in DIRECTED_APPS:
+            g = load_dataset("OR", scale=0.05, directed=True)
+        g = prepare_graph(app, g)
+        interp = run_app("flash", app, g, num_workers=3, backend="interp")
+        vec = run_app("flash", app, g, num_workers=3, backend="vectorized")
+        assert vec.values == interp.values, app
+        assert vec.metrics.num_supersteps == interp.metrics.num_supersteps, app
+        assert vec.metrics.total_messages == interp.metrics.total_messages, app
+        assert vec.metrics.total_values == interp.metrics.total_values, app
+
+    def test_auto_is_vectorized_alias(self, graph):
+        vec = run_app("flash", "bfs", graph, num_workers=3, backend="vectorized")
+        auto = run_app("flash", "bfs", graph, num_workers=3, backend="auto")
+        assert auto.values == vec.values
+        assert auto.metrics.summary() == vec.metrics.summary()
+
+
+# ---------------------------------------------------------------------------
+# Full-summary equality for the spec'd algorithms
+# ---------------------------------------------------------------------------
+class TestFullSummaryParity:
+    def _check(self, fn, *args, vectorized_supersteps=True, **kwargs):
+        a, b = _pair(fn, *args, **kwargs)
+        assert b.values == a.values
+        assert b.engine.metrics.summary() == a.engine.metrics.summary()
+        choices = b.engine.metrics.backend_choices
+        assert choices.get("vectorized", 0) > 0
+        if vectorized_supersteps:
+            assert choices.get("interp", 0) == 0
+        return a, b
+
+    def test_cc_basic(self, graph):
+        self._check(cc_basic, graph, num_workers=3)
+
+    @pytest.mark.parametrize("mode", ["auto", "sparse", "dense"])
+    def test_bfs_modes(self, mode, graph):
+        self._check(bfs, graph, root=0, num_workers=3, mode=mode)
+
+    def test_sssp(self, weighted):
+        self._check(sssp, weighted, root=0, num_workers=3)
+
+    def test_pagerank(self, graph):
+        self._check(pagerank, graph, num_workers=3)
+
+    def test_kcore_basic(self, graph):
+        self._check(kcore_basic, graph, num_workers=3)
+
+    def test_kcore_opt(self, graph):
+        # hist/lower supersteps use variable-length state and fall back.
+        self._check(kcore_opt, graph, num_workers=3, vectorized_supersteps=False)
+
+    def test_lpa(self, graph):
+        self._check(lpa, graph, num_workers=3)
+
+    def test_parity_with_full_sync(self, graph):
+        """The accounting must also match when the critical-property-only
+        sync optimization is off (sync covers every changed property)."""
+        options = FlashwareOptions(sync_critical_only=False, necessary_mirrors_only=False)
+        runs = []
+        for backend in ("interp", "vectorized"):
+            eng = FlashEngine(graph, num_workers=3, options=options, backend=backend)
+            runs.append(bfs(eng))
+        a, b = runs
+        assert b.values == a.values
+        assert b.engine.metrics.summary() == a.engine.metrics.summary()
+
+
+# ---------------------------------------------------------------------------
+# TypedVertexState
+# ---------------------------------------------------------------------------
+class TestTypedVertexState:
+    def test_dtype_inference(self):
+        s = TypedVertexState(4)
+        s.add_property("i", 0)
+        s.add_property("f", 1.5)
+        s.add_property("b", True)
+        assert s.array("i").dtype == np.int64
+        assert s.array("f").dtype == np.float64
+        assert s.array("b").dtype == np.bool_
+
+    def test_get_returns_python_scalars(self):
+        s = TypedVertexState(3)
+        s.add_property("x", 7)
+        assert type(s.get(0, "x")) is int
+        s.add_property("y", 2.0)
+        assert type(s.get(1, "y")) is float
+        s.add_property("z", False)
+        assert type(s.get(2, "z")) is bool
+
+    def test_factory_columns_stay_lists(self):
+        s = TypedVertexState(3)
+        s.add_property("inbox", factory=list)
+        assert s.array("inbox") is None
+        s.set(1, "inbox", [4, 5])
+        assert s.get(1, "inbox") == [4, 5]
+        assert s.get(0, "inbox") == []
+
+    def test_demotion_on_unfitting_write(self):
+        s = TypedVertexState(3)
+        s.add_property("x", 0)
+        assert s.array("x") is not None
+        s.set(1, "x", "hello")  # no longer int64-typed
+        assert s.array("x") is None
+        assert s.get(1, "x") == "hello"
+        assert s.get(0, "x") == 0
+
+    def test_int_column_accepts_exact_floats(self):
+        s = TypedVertexState(2)
+        s.add_property("x", 0)
+        s.set(0, "x", 3)
+        assert s.get(0, "x") == 3
+        s.set(1, "x", 2.5)  # fractional → demote
+        assert s.array("x") is None
+        assert s.get(1, "x") == 2.5
+
+    def test_row_matches_gets(self):
+        s = TypedVertexState(2)
+        s.add_property("a", 1)
+        s.add_property("b", 2.0)
+        assert s.row(0) == {"a": 1, "b": 2.0}
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+class TestCLI:
+    def test_run_backend_flag(self, capsys):
+        assert main(["run", "bfs", "OR", "--scale", "0.05",
+                     "--workers", "2", "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: vectorized" in out
+        assert "'vectorized'" in out  # backend_choices show vectorized steps
+
+    def test_compare_backend_flag(self, capsys):
+        assert main(["compare", "bfs", "OR", "--scale", "0.05",
+                     "--workers", "2", "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "flash[vectorized]" in out
+        assert "EDGEMAP mode choices" in out
+
+    def test_backend_defaults_to_interp(self, capsys):
+        assert main(["run", "bfs", "OR", "--scale", "0.05"]) == 0
+        assert "backend: interp" in capsys.readouterr().out

@@ -60,7 +60,44 @@ def test_reset():
 
 def test_summary_keys():
     m = Metrics(1)
-    assert set(m.summary()) == {"supersteps", "ops", "messages", "values"}
+    assert set(m.summary()) == {
+        "supersteps", "ops", "messages", "values",
+        "reduce_messages", "sync_messages",
+        "reduce_values", "sync_values",
+        "dense_supersteps", "sparse_supersteps",
+    }
+
+
+def test_summary_splits():
+    m = Metrics(2)
+    r1 = m.new_record("edge_map_sparse")
+    r1.reduce_messages = 3
+    r1.reduce_values = 5
+    r2 = m.new_record("vertex_map")
+    r2.sync_messages = 2
+    r2.sync_values = 7
+    m.note_mode("sparse")
+    m.note_mode("dense")
+    m.note_mode("dense")
+    s = m.summary()
+    assert s["messages"] == 5
+    assert s["reduce_messages"] == 3
+    assert s["sync_messages"] == 2
+    assert s["values"] == 12
+    assert s["reduce_values"] == 5
+    assert s["sync_values"] == 7
+    assert s["dense_supersteps"] == 2
+    assert s["sparse_supersteps"] == 1
+
+
+def test_backend_choices():
+    m = Metrics(1)
+    m.note_backend("interp")
+    m.note_backend("vectorized")
+    m.note_backend("vectorized")
+    assert m.backend_choices == {"interp": 1, "vectorized": 2}
+    m.reset()
+    assert m.backend_choices == {}
 
 
 def test_invalid_worker_count_rejected():
