@@ -1,0 +1,113 @@
+"""Checkpoint interval vs recovery cost under a seeded worker failure.
+
+The classic fault-tolerance tradeoff: frequent checkpoints tax the
+failure-free path (snapshot writes), sparse checkpoints tax recovery
+(more supersteps replayed after a rollback).  This benchmark kills one
+worker two-thirds of the way through each application and sweeps the
+checkpoint policy — periodic intervals, the adaptive cost-amortizing
+policy, and the no-checkpoint full-restart baseline — recording, per
+run, the simulated cost split into plain work / checkpoint writes /
+recovery (replay + restore), in ``BENCH_recovery.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py \
+        --n 1500 --edges 6000 --out BENCH_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro import random_graph
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.faults import FaultPlan
+from repro.runtime.recovery import (
+    AdaptiveCheckpointPolicy,
+    CheckpointPolicy,
+    PeriodicCheckpointPolicy,
+)
+from repro.suite import prepare_graph, run_app
+
+APPS = ["bfs", "cc", "kc", "lpa"]
+INTERVALS = [1, 2, 4, 8, 16]
+
+
+def _policies(intervals):
+    policies = {f"every-{k}": (lambda k=k: PeriodicCheckpointPolicy(k))
+                for k in intervals}
+    policies["adaptive"] = AdaptiveCheckpointPolicy
+    policies["none"] = CheckpointPolicy
+    return policies
+
+
+def run(n, edges, seed, workers, apps, intervals):
+    graph = random_graph(n, edges, seed=seed)
+    cluster = ClusterSpec(nodes=workers, cores_per_node=32)
+    rows = {}
+    for app in apps:
+        g = prepare_graph(app, graph)
+        clean = run_app("flash", app, g, num_workers=workers)
+        supersteps = clean.metrics.num_supersteps
+        clean_cost = clean.cost(cluster).total
+        fail_at = max(1, (2 * supersteps) // 3)
+        plan = FaultPlan.at(fail_at)
+        rows[app] = {
+            "supersteps": supersteps,
+            "fail_at": fail_at,
+            "clean_cost_s": clean_cost,
+            "policies": {},
+        }
+        for name, policy in _policies(intervals).items():
+            faulty = run_app("flash", app, g, num_workers=workers,
+                             faults=plan, checkpoint_policy=policy)
+            assert faulty.values == clean.values, f"{app}/{name}: recovery diverged"
+            cost = faulty.cost(cluster)
+            stats = faulty.extra["recovery"]
+            overhead = cost.total - clean_cost
+            rows[app]["policies"][name] = {
+                "total_cost_s": cost.total,
+                "checkpoint_cost_s": cost.checkpoint,
+                "recovery_cost_s": cost.recovery,
+                "overhead_s": overhead,
+                "overhead_share": overhead / cost.total if cost.total else 0.0,
+                "checkpoints_written": stats["checkpoints_written"],
+                "replayed_supersteps": stats["replayed_supersteps"],
+                "restore_values": stats["restore_values"],
+            }
+            print(f"{app:4s} {name:9s} total {cost.total * 1e3:9.3f} ms  "
+                  f"ckpt {cost.checkpoint * 1e3:8.3f} ms  "
+                  f"recovery {cost.recovery * 1e3:8.3f} ms  "
+                  f"replayed {stats['replayed_supersteps']:3d}  "
+                  f"written {stats['checkpoints_written']:3d}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1500, help="vertices")
+    parser.add_argument("--edges", type=int, default=6000, help="edges")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--apps", nargs="*", default=APPS, choices=APPS)
+    parser.add_argument("--intervals", nargs="*", type=int, default=INTERVALS)
+    parser.add_argument("--out", default="BENCH_recovery.json")
+    args = parser.parse_args(argv)
+
+    rows = run(args.n, args.edges, args.seed, args.workers, args.apps,
+               args.intervals)
+    payload = {
+        "graph": {"n": args.n, "edges": args.edges, "seed": args.seed},
+        "workers": args.workers,
+        "failure": "one worker killed at 2/3 of each app's superstep count",
+        "apps": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

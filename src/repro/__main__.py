@@ -22,6 +22,8 @@ from repro.analysis.tables import format_table
 from repro.graph.generators import DATASETS
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import FaultPlan
+from repro.runtime.recovery import make_policy
 from repro.runtime.vectorized.dispatch import BACKENDS
 from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
 
@@ -40,10 +42,41 @@ def _load(app: str, dataset: str, scale: float):
     return prepare_graph(app, graph)
 
 
+def _fault_kwargs(args) -> dict:
+    """Translate the --faults/--checkpoint* flags into run_app kwargs."""
+    kwargs = {}
+    if getattr(args, "faults", None):
+        kwargs["faults"] = FaultPlan.parse(args.faults)
+    if getattr(args, "faults", None) or getattr(args, "checkpoint_every", None) \
+            or getattr(args, "checkpoint", None):
+        policy, every = getattr(args, "checkpoint", None), getattr(args, "checkpoint_every", None)
+        kwargs["checkpoint_policy"] = lambda: make_policy(policy, every)
+    return kwargs
+
+
+def _print_recovery(extra: dict, cost) -> None:
+    stats = extra.get("recovery")
+    if not stats:
+        return
+    overhead = cost.checkpoint + cost.recovery
+    share = overhead / cost.total if cost.total else 0.0
+    print(f"  recovery: {stats['failures']} failure(s), "
+          f"{stats['checkpoints_written']} checkpoint(s) written "
+          f"({stats['checkpoint_values']} values), "
+          f"{stats['replayed_supersteps']} superstep(s) replayed, "
+          f"{stats['restore_values']} values restored")
+    print(f"  recovery share of simulated cost: {share:.1%} "
+          f"(checkpoint {cost.checkpoint * 1e3:.3f} ms + "
+          f"recovery {cost.recovery * 1e3:.3f} ms)")
+    for line in stats["failure_log"]:
+        print(f"    - {line}")
+
+
 def cmd_run(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
     run = run_app(
-        "flash", args.app, graph, num_workers=args.workers, backend=args.backend
+        "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
+        **_fault_kwargs(args),
     )
     cluster = ClusterSpec(nodes=args.workers, cores_per_node=32)
     cost = run.cost(cluster, CostModel())
@@ -53,6 +86,7 @@ def cmd_run(args) -> int:
           f"{run.metrics.backend_choices or {'interp': run.metrics.num_supersteps}})")
     print(f"  EDGEMAP mode choices: {run.metrics.mode_choices}")
     print(f"  simulated time on {args.workers}x32 cores: {cost.total * 1e3:.3f} ms")
+    _print_recovery(run.extra, cost)
     if run.extra:
         preview = {k: v for k, v in run.extra.items() if not isinstance(v, (dict, list))}
         if preview:
@@ -65,29 +99,42 @@ def cmd_compare(args) -> int:
     model = CostModel()
     rows = []
     flash_modes = None
+    flash_recovery = None
+    fault_kwargs = _fault_kwargs(args)
     for framework in FRAMEWORKS:
         workers = 1 if framework == "ligra" else args.workers
         backend = args.backend if framework == "flash" else None
-        run = run_app(framework, args.app, graph, num_workers=workers, backend=backend)
+        # Faults strike flash only — baselines have no recovery layer, so
+        # they run fault-free for reference.
+        kwargs = fault_kwargs if framework == "flash" else {}
+        run = run_app(framework, args.app, graph, num_workers=workers,
+                      backend=backend, **kwargs)
         if run is None:
             rows.append([framework, "-", "-", "inexpressible"])
             continue
         cluster = ClusterSpec(nodes=workers, cores_per_node=32)
         name = f"flash[{args.backend}]" if framework == "flash" else framework
+        cost = run.cost(cluster, model)
         if framework == "flash":
             flash_modes = run.metrics.mode_choices
+            if run.extra.get("recovery"):
+                flash_recovery = (run.extra, cost)
         rows.append(
             [
                 name,
                 run.metrics.num_supersteps,
                 run.metrics.total_messages,
-                f"{run.cost(cluster, model).total * 1e3:.3f}ms",
+                f"{cost.total * 1e3:.3f}ms",
             ]
         )
     print(format_table(["framework", "supersteps", "messages", "sim. time"], rows,
                        title=f"{args.app} on {args.dataset} ({graph})"))
     if flash_modes is not None:
         print(f"flash EDGEMAP mode choices: {flash_modes}")
+    if flash_recovery is not None:
+        extra, cost = flash_recovery
+        print("flash fault tolerance:")
+        _print_recovery(extra, cost)
     return 0
 
 
@@ -127,6 +174,29 @@ def main(argv=None) -> int:
             choices=list(BACKENDS),
             default="interp",
             help="FLASH execution backend (vectorized = NumPy columnar kernels)",
+        )
+        p.add_argument(
+            "--faults",
+            default=None,
+            metavar="PLAN",
+            help="inject worker failures and recover automatically; e.g. "
+                 "'4' (kill a worker at superstep 4), '4:1' (kill worker 1), "
+                 "'hazard=0.05,seed=7,max=2' (seeded hazard rate)",
+        )
+        p.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="K",
+            help="periodic checkpoint interval in supersteps (default 4 "
+                 "when fault tolerance is on)",
+        )
+        p.add_argument(
+            "--checkpoint",
+            choices=["periodic", "adaptive", "none"],
+            default=None,
+            help="checkpoint policy (adaptive amortizes snapshot cost "
+                 "against superstep cost via the cost model)",
         )
 
     sub.add_parser("lloc", help="Table I LLoC matrix")

@@ -13,22 +13,54 @@ same topology inside a single Python process.  The pieces:
   compute work and message traffic;
 * :class:`~repro.runtime.costmodel.CostModel` — converts metrics into
   simulated wall-clock seconds for a given cluster, reproducing the
-  paper's scaling behaviour without the physical testbed.
+  paper's scaling behaviour without the physical testbed;
+* :mod:`~repro.runtime.faults` / :mod:`~repro.runtime.recovery` — the
+  fault-tolerance layer: deterministic worker-failure injection,
+  checkpoint policies and stores, and rollback-replay recovery
+  orchestration (see ``docs/fault_tolerance.md``).
 """
 
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostBreakdown, CostModel
+from repro.runtime.faults import FaultInjector, FaultPlan, WorkerFailure
 from repro.runtime.flashware import Flashware, FlashwareOptions
 from repro.runtime.metrics import Metrics, SuperstepRecord
+from repro.runtime.recovery import (
+    AdaptiveCheckpointPolicy,
+    CheckpointPolicy,
+    CheckpointStore,
+    CorruptCheckpointError,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    PeriodicCheckpointPolicy,
+    RecoveryManager,
+    RecoveryReport,
+    RecoveryStats,
+    run_with_recovery,
+)
 from repro.runtime.state import VertexState
 
 __all__ = [
+    "AdaptiveCheckpointPolicy",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "ClusterSpec",
+    "CorruptCheckpointError",
     "CostBreakdown",
     "CostModel",
+    "DiskCheckpointStore",
+    "FaultInjector",
+    "FaultPlan",
     "Flashware",
     "FlashwareOptions",
+    "MemoryCheckpointStore",
     "Metrics",
+    "PeriodicCheckpointPolicy",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RecoveryStats",
     "SuperstepRecord",
     "VertexState",
+    "WorkerFailure",
+    "run_with_recovery",
 ]

@@ -57,20 +57,39 @@ class CostParams:
     sec_per_value_serialized: float = 5e-8
     other_per_superstep: float = 5e-7
     overlap: bool = True
+    # Fault-tolerance terms: checkpoints stream to replicated storage at
+    # ``checkpoint_bandwidth_bytes_per_sec`` (slower than the wire — the
+    # write is replicated and fsynced), plus a fixed coordination latency
+    # per snapshot / per rollback.
+    checkpoint_bandwidth_bytes_per_sec: float = 6.25e8
+    latency_per_checkpoint: float = 2e-6
+    latency_per_restore: float = 2e-6
 
 
 @dataclass
 class CostBreakdown:
-    """Simulated seconds, split the way §V-E splits them."""
+    """Simulated seconds, split the way §V-E splits them, plus the two
+    fault-tolerance components: ``checkpoint`` (snapshot writes) and
+    ``recovery`` (aborted work, rollback restores, and replayed
+    supersteps — everything a failure-free run would not have spent)."""
 
     compute: float = 0.0
     communication: float = 0.0
     serialization: float = 0.0
     other: float = 0.0
+    checkpoint: float = 0.0
+    recovery: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.compute + self.communication + self.serialization + self.other
+        return (
+            self.compute
+            + self.communication
+            + self.serialization
+            + self.other
+            + self.checkpoint
+            + self.recovery
+        )
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
         return CostBreakdown(
@@ -78,19 +97,18 @@ class CostBreakdown:
             self.communication + other.communication,
             self.serialization + other.serialization,
             self.other + other.other,
+            self.checkpoint + other.checkpoint,
+            self.recovery + other.recovery,
         )
 
     def fractions(self) -> dict:
         """Each component as a fraction of the total (0 when total is 0)."""
         t = self.total
+        keys = ("compute", "communication", "serialization", "other",
+                "checkpoint", "recovery")
         if t == 0:
-            return {"compute": 0.0, "communication": 0.0, "serialization": 0.0, "other": 0.0}
-        return {
-            "compute": self.compute / t,
-            "communication": self.communication / t,
-            "serialization": self.serialization / t,
-            "other": self.other / t,
-        }
+            return {k: 0.0 for k in keys}
+        return {k: getattr(self, k) / t for k in keys}
 
 
 def amdahl_speedup(cores: int, parallel_fraction: float) -> float:
@@ -135,7 +153,32 @@ class CostModel:
             exposed_comm = max(comm - compute, 0.0)
         else:
             exposed_comm = comm
-        return CostBreakdown(compute, exposed_comm, serialization, other)
+
+        # Fault-tolerance terms.  Checkpoint writes happen at the
+        # superstep boundary and cannot hide behind computation.
+        checkpoint = 0.0
+        if rec.checkpoints:
+            checkpoint = (
+                rec.checkpoint_values * p.bytes_per_value
+                / p.checkpoint_bandwidth_bytes_per_sec
+                + rec.checkpoints * p.latency_per_checkpoint
+            )
+        recovery = 0.0
+        if rec.restore_values:
+            recovery += (
+                rec.restore_values * p.bytes_per_value
+                / p.checkpoint_bandwidth_bytes_per_sec
+                + p.latency_per_restore
+            )
+        if rec.aborted or rec.replayed:
+            # Work a failure-free run would not have spent: attribute the
+            # whole superstep (compute + exposed comm + serialization +
+            # fixed overhead) to the recovery component.
+            recovery += compute + exposed_comm + serialization + other
+            return CostBreakdown(0.0, 0.0, 0.0, 0.0, checkpoint, recovery)
+        return CostBreakdown(
+            compute, exposed_comm, serialization, other, checkpoint, recovery
+        )
 
     def estimate(self, metrics: Metrics, cluster: ClusterSpec) -> CostBreakdown:
         """Total simulated cost of a run.

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's testbed is a real 4-node cluster where a worker (one MPI
+process holding one partition) can die mid-superstep.  This module
+simulates exactly that failure mode: a :class:`FaultPlan` schedules
+worker kills — either pinned to a (superstep, worker) pair or drawn from
+a seeded per-superstep hazard rate — and a :class:`FaultInjector`
+replays the plan against the FLASHWARE superstep lifecycle, raising
+:class:`WorkerFailure` at the injection point.
+
+Injection points mirror when a real worker loss becomes visible to the
+BSP runtime:
+
+* ``begin`` — the worker is already gone when the superstep starts
+  (detected while distributing work);
+* ``barrier`` — the worker dies during the superstep and the loss is
+  detected at the barrier, *before* any of the superstep's staged
+  updates commit (the superstep is aborted cleanly, matching BSP
+  all-or-nothing superstep semantics).
+
+Determinism: a plan is immutable; an injector is a cheap per-run replay
+cursor over it.  Hazard draws come from ``random.Random(seed)`` advanced
+once per polled superstep, so two runs with the same plan and the same
+superstep schedule fail identically — the property the recovery parity
+tests lean on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+PHASES = ("begin", "barrier")
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection errors."""
+
+
+class WorkerFailure(FaultError):
+    """A (simulated) worker process died.
+
+    Raised by the :class:`FaultInjector` from inside the FLASHWARE
+    superstep lifecycle after the in-flight superstep has been aborted;
+    callers that want fault tolerance catch it via
+    :func:`repro.runtime.recovery.run_with_recovery`.
+    """
+
+    def __init__(self, worker: int, superstep: int, phase: str = "barrier"):
+        self.worker = worker
+        self.superstep = superstep
+        self.phase = phase
+        super().__init__(
+            f"worker {worker} failed at superstep {superstep} ({phase})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled kill: ``worker`` dies at superstep ``superstep``.
+
+    ``worker=None`` picks ``superstep % num_workers`` at fire time, so a
+    plan can be written without knowing the worker count.
+    """
+
+    superstep: int
+    worker: Optional[int] = None
+    phase: str = "barrier"
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ValueError("fault superstep must be >= 0")
+        if self.phase not in PHASES:
+            raise ValueError(f"fault phase must be one of {PHASES}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of worker failures.
+
+    Two ingredients, usable together:
+
+    * ``faults`` — explicit :class:`FaultSpec` kills (each fires once);
+    * ``hazard`` — a per-superstep death probability, drawn from a
+      ``seed``-ed RNG; ``max_hazard_failures`` bounds the total number of
+      hazard kills so a run with retries always terminates.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    hazard: float = 0.0
+    seed: int = 0
+    max_hazard_failures: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hazard <= 1.0:
+            raise ValueError("hazard rate must be in [0, 1]")
+        if self.max_hazard_failures < 0:
+            raise ValueError("max_hazard_failures must be >= 0")
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def at(superstep: int, worker: Optional[int] = None, phase: str = "barrier") -> "FaultPlan":
+        """A plan with a single pinned kill."""
+        return FaultPlan(faults=(FaultSpec(superstep, worker, phase),))
+
+    @staticmethod
+    def hazard_rate(rate: float, seed: int = 0, max_failures: int = 1) -> "FaultPlan":
+        """A plan that kills a random worker with probability ``rate``
+        at every executed superstep, at most ``max_failures`` times."""
+        return FaultPlan(hazard=rate, seed=seed, max_hazard_failures=max_failures)
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        """Parse the CLI ``--faults`` syntax.
+
+        Comma-separated entries; each entry is either
+
+        * ``SUPERSTEP`` or ``SUPERSTEP:WORKER`` — a pinned kill, or
+        * ``hazard=RATE`` / ``seed=S`` / ``max=N`` — hazard-mode knobs.
+
+        Examples: ``"4"``, ``"4:1"``, ``"3:0,9:2"``,
+        ``"hazard=0.05,seed=7,max=2"``.
+        """
+        faults: List[FaultSpec] = []
+        hazard = 0.0
+        seed = 0
+        max_failures = 1
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if "=" in entry:
+                key, _, value = entry.partition("=")
+                key = key.strip()
+                if key == "hazard":
+                    hazard = float(value)
+                elif key == "seed":
+                    seed = int(value)
+                elif key == "max":
+                    max_failures = int(value)
+                else:
+                    raise ValueError(f"unknown fault option {key!r} in {spec!r}")
+            elif ":" in entry:
+                step, _, worker = entry.partition(":")
+                faults.append(FaultSpec(int(step), int(worker)))
+            else:
+                faults.append(FaultSpec(int(entry)))
+        return FaultPlan(
+            faults=tuple(faults),
+            hazard=hazard,
+            seed=seed,
+            max_hazard_failures=max_failures,
+        )
+
+    def injector(self) -> "FaultInjector":
+        """A fresh replay cursor over this plan (one per engine run)."""
+        return FaultInjector(self)
+
+    def describe(self) -> str:
+        parts = [f"s{f.superstep}:w{'auto' if f.worker is None else f.worker}" for f in self.faults]
+        if self.hazard:
+            parts.append(f"hazard={self.hazard}@seed={self.seed}")
+        return ",".join(parts) or "none"
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`FaultPlan` against one run.
+
+    The FLASHWARE calls :meth:`poll` at each injection point of every
+    *executed* superstep (fast-forwarded replay supersteps are skipped —
+    nothing runs there, so nothing can die).  Each pinned fault fires at
+    most once; after recovery the failed worker is considered restarted,
+    so the replay of the same superstep proceeds.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pending: List[FaultSpec] = list(plan.faults)
+        self._rng = random.Random(plan.seed)
+        self._hazard_fired = 0
+        self.fired: List[WorkerFailure] = []
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further failure can ever fire."""
+        return not self._pending and (
+            self.plan.hazard == 0.0
+            or self._hazard_fired >= self.plan.max_hazard_failures
+        )
+
+    def poll(self, superstep: int, phase: str, num_workers: int) -> None:
+        """Raise :class:`WorkerFailure` if the plan kills a worker at
+        this (superstep, phase); otherwise return."""
+        for spec in self._pending:
+            if spec.superstep == superstep and spec.phase == phase:
+                self._pending.remove(spec)
+                worker = spec.worker if spec.worker is not None else superstep % num_workers
+                self._fail(worker, superstep, phase)
+        if (
+            self.plan.hazard > 0.0
+            and phase == "barrier"
+            and self._hazard_fired < self.plan.max_hazard_failures
+        ):
+            if self._rng.random() < self.plan.hazard:
+                self._hazard_fired += 1
+                worker = self._rng.randrange(num_workers)
+                self._fail(worker, superstep, phase)
+
+    def _fail(self, worker: int, superstep: int, phase: str) -> None:
+        failure = WorkerFailure(worker, superstep, phase)
+        self.fired.append(failure)
+        raise failure

@@ -25,24 +25,35 @@ measurements observe (see DESIGN.md §5).
 from __future__ import annotations
 
 import copy
+import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.partition import PartitionMap, partition_graph
+from repro.runtime.faults import FaultInjector, WorkerFailure
 from repro.runtime.metrics import Metrics, SuperstepRecord
 from repro.runtime.state import VertexState
 
 
 def values_equal(a: Any, b: Any) -> bool:
     """Value equality that tolerates un-comparable objects (treated as
-    changed)."""
+    changed).  NaN compares equal to NaN: a float property holding NaN
+    has *not* changed when the new value is NaN again, so the barrier
+    must not re-count it as changed (and re-sync it to mirrors) forever.
+    """
+    if a is b:
+        return True
     try:
-        return bool(a == b)
+        if bool(a == b):
+            return True
     except Exception:
         return False
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return math.isnan(a) and math.isnan(b)
+    return False
 
 
 def payload_size(value: Any) -> int:
@@ -97,6 +108,24 @@ class Flashware:
         # without being synced — the debt paid if the property is later
         # promoted to critical.
         self._unsynced: Dict[str, Set[int]] = {}
+        # ---- fault tolerance (see repro.runtime.recovery) ----
+        # Logical superstep counter: the number of *committed* supersteps
+        # of the current execution attempt (aborted supersteps do not
+        # advance it, so a replay re-executes the same sequence numbers).
+        self.superstep_seq = 0
+        #: Injector polled at the begin/barrier points of every executed
+        #: superstep; ``None`` disables injection.
+        self.fault_injector: Optional[FaultInjector] = None
+        #: Called with ``(flashware, record)`` after every committed
+        #: barrier — the recovery manager's checkpoint/restore hook.
+        self.on_commit: Optional[Callable[["Flashware", SuperstepRecord], None]] = None
+        # During a recovery re-execution, supersteps with seq below
+        # ``_ff_until`` are fast-forwarded (executed, but uncharged: in a
+        # real run their effects would be loaded from the checkpoint) and
+        # supersteps in ``[_ff_until, _replay_until)`` are charged as
+        # *replayed* work.
+        self._ff_until = 0
+        self._replay_until = 0
 
     # ------------------------------------------------------------------
     # Paper API: get / put / barrier  (put+barrier are orchestrated by the
@@ -110,13 +139,54 @@ class Flashware:
     # ------------------------------------------------------------------
     # Superstep lifecycle
     # ------------------------------------------------------------------
+    @property
+    def in_fast_forward(self) -> bool:
+        """Whether the current/next superstep is a fast-forwarded replay
+        step (recovery re-execution of work already covered by a
+        checkpoint — runs, but is not charged)."""
+        return self.superstep_seq < self._ff_until
+
+    def set_replay_window(self, ff_until: int, replay_until: int) -> None:
+        """Configure the recovery replay window for the current attempt:
+        supersteps below ``ff_until`` fast-forward uncharged, supersteps
+        in ``[ff_until, replay_until)`` are charged as replayed work."""
+        self._ff_until = ff_until
+        self._replay_until = max(replay_until, ff_until)
+        self.metrics.set_suppressed(self.in_fast_forward)
+
     def begin_superstep(self, kind: str, label: str = "", frontier_in: int = 0) -> SuperstepRecord:
         if self._current is not None:
             raise RuntimeError("previous superstep not closed with barrier()")
+        self.metrics.set_suppressed(self.in_fast_forward)
         rec = self.metrics.new_record(kind, label)
         rec.frontier_in = frontier_in
+        if not self.in_fast_forward and self.superstep_seq < self._replay_until:
+            rec.replayed = True
         self._current = rec
+        self._poll_faults("begin")
         return rec
+
+    def _poll_faults(self, phase: str) -> None:
+        """Give the fault injector a chance to kill a worker.  A failure
+        aborts the in-flight superstep (nothing committed, BSP
+        all-or-nothing) and propagates as :class:`WorkerFailure`."""
+        injector = self.fault_injector
+        if injector is None or self.in_fast_forward:
+            return
+        try:
+            injector.poll(self.superstep_seq, phase, self.partition.num_partitions)
+        except WorkerFailure:
+            self.abort_superstep()
+            raise
+
+    def _finish_commit(self, rec: SuperstepRecord) -> None:
+        """Close a committed superstep: advance the logical clock and run
+        the recovery manager's checkpoint/restore hook."""
+        self._current = None
+        self.superstep_seq += 1
+        self.metrics.set_suppressed(self.in_fast_forward)
+        if self.on_commit is not None:
+            self.on_commit(self, rec)
 
     def charge_ops(self, worker: int, n: int = 1) -> None:
         """Charge ``n`` user-function evaluations to ``worker``."""
@@ -155,6 +225,7 @@ class Flashware:
         rec = self._current
         if rec is None:
             raise RuntimeError("barrier() called outside a superstep")
+        self._poll_faults("barrier")
         changed_vids: Set[int] = set()
         contributors = contributors or {}
 
@@ -199,7 +270,7 @@ class Flashware:
                 rec.sync_values += len(mirrors) * size
 
         rec.frontier_out = frontier_out
-        self._current = None
+        self._finish_commit(rec)
         return changed_vids
 
     def barrier_columnar(
@@ -231,6 +302,7 @@ class Flashware:
         rec = self._current
         if rec is None:
             raise RuntimeError("barrier_columnar() called outside a superstep")
+        self._poll_faults("barrier")
         ids = np.asarray(ids, dtype=np.int64)
         n_ids = len(ids)
         state = self.state
@@ -248,7 +320,12 @@ class Flashware:
                         f"columnar update for {name!r} has dtype {new.dtype} "
                         f"incompatible with column dtype {col.dtype}"
                     )
-                mask = col[ids] != new
+                cur = col[ids]
+                mask = cur != new
+                if col.dtype.kind == "f" and new.dtype.kind == "f":
+                    # NaN != NaN, but an unchanged NaN is not a change
+                    # (mirror of values_equal on the interp path).
+                    mask &= ~(np.isnan(cur) & np.isnan(new))
                 payloads[name] = None  # scalar payload == 1
             else:
                 mask = np.zeros(n_ids, dtype=bool)
@@ -320,11 +397,16 @@ class Flashware:
             rec.sync_values += sync_values
 
         rec.frontier_out = frontier_out
-        self._current = None
+        self._finish_commit(rec)
 
     def abort_superstep(self) -> None:
-        """Close the current superstep without committing (used when a
-        kernel raises)."""
+        """Close the current superstep without committing — used when a
+        kernel raises or a worker fails mid-superstep.  The aborted
+        record stays in the log (the work up to the failure was really
+        spent) but is flagged so the cost model attributes it to
+        recovery, and the logical superstep clock does not advance."""
+        if self._current is not None:
+            self._current.aborted = True
         self._current = None
 
     # ------------------------------------------------------------------
@@ -374,7 +456,14 @@ class Flashware:
     def checkpoint(self) -> Dict[str, Any]:
         """Snapshot the committed vertex state (plus the analysis sets),
         as a consistent cut at a superstep boundary — what a real BSP
-        runtime writes for failure recovery."""
+        runtime writes for failure recovery.
+
+        The snapshot records ``state.property_names`` (so ``restore()``
+        can drop properties declared after the cut) and the per-property
+        factories (so properties dropped after the cut can be
+        re-installed; factories are process-local callables, so on-disk
+        checkpoint stores omit them and re-installation degrades to a
+        ``None`` default)."""
         if self._current is not None:
             raise RuntimeError("checkpoint only at a superstep boundary")
         return {
@@ -382,9 +471,15 @@ class Flashware:
                 name: self._copy_column(self.state.column(name))
                 for name in self.state.property_names
             },
+            "properties": list(self.state.property_names),
+            "factories": {
+                name: self.state.factory(name)
+                for name in self.state.property_names
+            },
             "critical": set(self._critical),
             "analyzed": set(self._analyzed),
             "unsynced": {k: set(v) for k, v in self._unsynced.items()},
+            "superstep": self.superstep_seq,
         }
 
     @staticmethod
@@ -398,15 +493,28 @@ class Flashware:
         return copy.deepcopy(column)
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
-        """Roll the committed state back to a checkpoint (properties
-        created after the checkpoint are left untouched)."""
+        """Roll the committed state back to a checkpoint.
+
+        The property *set* is rolled back too: properties created after
+        the snapshot are dropped (a replayed ``add_property`` must not
+        collide with, or read stale values from, a column that survived
+        the rollback), and properties dropped after the snapshot are
+        re-installed from it."""
         if self._current is not None:
             raise RuntimeError("restore only at a superstep boundary")
+        snapshot_names = snapshot.get("properties")
+        if snapshot_names is None:  # pre-fault-tolerance snapshot layout
+            snapshot_names = list(snapshot["columns"])
+        for name in list(self.state.property_names):
+            if name not in snapshot_names:
+                self.state.remove_property(name)
+        factories = snapshot.get("factories") or {}
         for name, column in snapshot["columns"].items():
+            restored = self._copy_column(column)
             if not self.state.has_property(name):
+                self.state.install_column(name, restored, factories.get(name))
                 continue
             live = self.state.column(name)
-            restored = self._copy_column(column)
             if isinstance(live, np.ndarray) and isinstance(restored, np.ndarray):
                 live[:] = restored
             elif isinstance(live, list) and isinstance(restored, np.ndarray):
@@ -420,6 +528,21 @@ class Flashware:
         self._critical = set(snapshot["critical"])
         self._analyzed = set(snapshot["analyzed"])
         self._unsynced = {k: set(v) for k, v in snapshot["unsynced"].items()}
+
+    def reset_for_recovery(self) -> None:
+        """Reset the logical run state for a recovery re-execution: fresh
+        vertex state (the program re-declares its properties as it
+        replays), cleared analysis sets, and the superstep clock back to
+        zero.  Metrics are *kept* — work spent before the failure was
+        really spent and stays charged."""
+        if self._current is not None:
+            self.abort_superstep()
+        self.state = type(self.state)(self.graph.num_vertices)
+        self._critical = set()
+        self._analyzed = set()
+        self._unsynced = {}
+        self.superstep_seq = 0
+        self.metrics.set_suppressed(self.in_fast_forward)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

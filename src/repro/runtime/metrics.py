@@ -14,6 +14,14 @@ Quantities tracked per superstep:
   values they carry, split into the two rounds of §IV-A: mirror→master
   *reduce* traffic and master→mirror *sync* traffic.
 * ``frontier`` sizes for Fig. 4(a)-style traces.
+* fault-tolerance accounting — ``aborted`` (the superstep was cut down
+  by a worker failure before its barrier committed), ``replayed`` (the
+  superstep is a re-execution after rolling back to a checkpoint),
+  ``checkpoints``/``checkpoint_values`` (snapshot writes taken at this
+  superstep's boundary) and ``restore_values`` (checkpoint traffic read
+  back during recovery).  The cost model attributes replayed/aborted
+  work to a separate *recovery* component so the checkpoint-interval
+  tradeoff is measurable.
 """
 
 from __future__ import annotations
@@ -36,6 +44,11 @@ class SuperstepRecord:
     sync_values: int = 0
     frontier_in: int = 0
     frontier_out: int = 0
+    aborted: bool = False  # cut down by a worker failure before commit
+    replayed: bool = False  # re-execution after a rollback
+    checkpoints: int = 0  # snapshots written at this superstep's boundary
+    checkpoint_values: int = 0  # property values those snapshots carried
+    restore_values: int = 0  # checkpoint values read back during recovery
 
     @property
     def total_ops(self) -> int:
@@ -64,31 +77,52 @@ class Metrics:
         self.records: List[SuperstepRecord] = []
         self.mode_choices: Dict[str, int] = {}  # dense/sparse decisions of EDGEMAP
         self.backend_choices: Dict[str, int] = {}  # interp/vectorized per superstep
+        # While suppressed (recovery fast-forward: the work was already
+        # charged before the failure), records are detached — the
+        # superstep still runs through the normal lifecycle but leaves
+        # no trace in the log.
+        self._suppressed = False
 
     # ------------------------------------------------------------------
     def new_record(self, kind: str, label: str = "") -> SuperstepRecord:
         rec = SuperstepRecord(
-            index=len(self.records),
+            index=-1 if self._suppressed else len(self.records),
             kind=kind,
             label=label,
             worker_ops=[0] * self.num_workers,
         )
-        self.records.append(rec)
+        if not self._suppressed:
+            self.records.append(rec)
         return rec
+
+    def set_suppressed(self, flag: bool) -> None:
+        """Toggle fast-forward suppression (see
+        :mod:`repro.runtime.recovery`): while on, new records are not
+        logged and mode/backend notes are dropped."""
+        self._suppressed = bool(flag)
+
+    @property
+    def suppressed(self) -> bool:
+        return self._suppressed
 
     def note_mode(self, mode: str) -> None:
         """Record an EDGEMAP dense/sparse auto-switch decision."""
+        if self._suppressed:
+            return
         self.mode_choices[mode] = self.mode_choices.get(mode, 0) + 1
 
     def note_backend(self, backend: str) -> None:
         """Record which execution backend ran a superstep (``interp`` or
         ``vectorized`` — the dispatcher decides per superstep)."""
+        if self._suppressed:
+            return
         self.backend_choices[backend] = self.backend_choices.get(backend, 0) + 1
 
     def reset(self) -> None:
         self.records.clear()
         self.mode_choices.clear()
         self.backend_choices.clear()
+        self._suppressed = False
 
     # ------------------------------------------------------------------
     # Totals
@@ -129,10 +163,50 @@ class Metrics:
     def total_sync_messages(self) -> int:
         return sum(r.sync_messages for r in self.records)
 
+    # ------------------------------------------------------------------
+    # Fault-tolerance totals
+    # ------------------------------------------------------------------
+    @property
+    def replayed_supersteps(self) -> int:
+        """Re-executed supersteps (synthetic ``recovery_restore`` records
+        carry the replayed flag for cost attribution but are rollbacks,
+        not supersteps)."""
+        return sum(
+            1 for r in self.records if r.replayed and r.kind != "recovery_restore"
+        )
+
+    @property
+    def aborted_supersteps(self) -> int:
+        return sum(1 for r in self.records if r.aborted)
+
+    @property
+    def replayed_ops(self) -> int:
+        """User-function evaluations spent re-executing supersteps after a
+        rollback — the work a shorter checkpoint interval would save."""
+        return sum(r.total_ops for r in self.records if r.replayed or r.aborted)
+
+    @property
+    def first_attempt_ops(self) -> int:
+        """User-function evaluations on the first (successful or not yet
+        failed) execution of each superstep."""
+        return self.total_ops - self.replayed_ops
+
+    @property
+    def checkpoints_written(self) -> int:
+        return sum(r.checkpoints for r in self.records)
+
+    @property
+    def total_checkpoint_values(self) -> int:
+        return sum(r.checkpoint_values for r in self.records)
+
+    @property
+    def total_restore_values(self) -> int:
+        return sum(r.restore_values for r in self.records)
+
     def summary(self) -> Dict[str, int]:
         """A dict of headline totals (handy for asserts and reports),
-        including the reduce/sync split of §IV-A and the EDGEMAP
-        dense/sparse mode decisions."""
+        including the reduce/sync split of §IV-A, the EDGEMAP
+        dense/sparse mode decisions, and the recovery accounting."""
         return {
             "supersteps": self.num_supersteps,
             "ops": self.total_ops,
@@ -144,6 +218,11 @@ class Metrics:
             "sync_values": self.total_sync_values,
             "dense_supersteps": self.mode_choices.get("dense", 0),
             "sparse_supersteps": self.mode_choices.get("sparse", 0),
+            "replayed_supersteps": self.replayed_supersteps,
+            "aborted_supersteps": self.aborted_supersteps,
+            "checkpoints": self.checkpoints_written,
+            "checkpoint_values": self.total_checkpoint_values,
+            "restore_values": self.total_restore_values,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -81,6 +81,26 @@ class VertexState:
         self._columns.pop(name)
         self._factories.pop(name)
 
+    def factory(self, name: str) -> Callable[[], Any]:
+        """The per-vertex default factory of property ``name``."""
+        return self._factories[name]
+
+    def install_column(
+        self,
+        name: str,
+        column: Any,
+        factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """(Re)install a whole property column — checkpoint restore only.
+
+        ``column`` becomes the live storage as-is (the caller owns the
+        copy).  Without a ``factory`` (e.g. restored from an on-disk
+        snapshot, where callables cannot be serialized) the property's
+        default degrades to ``None``."""
+        self._columns[name] = column
+        if factory is not None or name not in self._factories:
+            self._factories[name] = factory if factory is not None else (lambda: None)
+
     def reset_property(self, name: str) -> None:
         """Reinitialize a property column to its default values."""
         make = self._factories[name]

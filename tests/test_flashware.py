@@ -163,6 +163,60 @@ class TestValuesEqual:
 
         assert not values_equal(Weird(), Weird())
 
+    def test_nan_rewrite_is_unchanged(self):
+        """Regression: NaN != NaN, but a NaN overwritten with NaN is not
+        a *change* — treating it as one re-syncs the value every
+        superstep forever."""
+        import numpy as np
+
+        nan = float("nan")
+        assert values_equal(nan, float("nan"))
+        assert values_equal(np.float64("nan"), nan)
+        assert not values_equal(nan, 1.0)
+        assert not values_equal(nan, "nan")
+
+
+class TestNaNChangeDetection:
+    """The NaN==NaN rule applied at both barriers (interp + columnar)."""
+
+    def test_barrier_nan_rewrite_not_synced(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        fw = Flashware(g, num_workers=2)
+        fw.state.add_property("d", float("nan"))
+        fw.mark_critical(["d"])
+        fw.begin_superstep("vertex_map")
+        changed = fw.barrier({vid: {"d": float("nan")} for vid in range(4)})
+        assert changed == set()
+        rec = fw.metrics.records[0]
+        assert rec.sync_messages == 0 and rec.sync_values == 0
+
+    def test_barrier_columnar_nan_mask(self):
+        import math
+
+        import numpy as np
+
+        from repro import FlashEngine
+        from repro.runtime.vectorized import use_backend
+
+        with use_backend("vectorized"):
+            eng = FlashEngine(Graph.from_edges([(0, 1), (1, 2), (2, 3)]),
+                              num_workers=2)
+        fw = eng.flashware
+        eng.add_property("d", float("nan"))
+        assert fw.state.array("d") is not None  # the float-array fast path
+        fw.mark_critical(["d"])
+        ids = np.arange(4)
+        fw.begin_superstep("vertex_map")
+        fw.barrier_columnar(ids, {"d": np.full(4, np.nan)})
+        rec = fw.metrics.records[-1]
+        assert rec.sync_messages == 0 and rec.sync_values == 0
+        # A genuine NaN -> value transition still registers.
+        fw.begin_superstep("vertex_map")
+        fw.barrier_columnar(ids, {"d": np.array([np.nan, 1.0, np.nan, np.nan])})
+        assert fw.state.get(1, "d") == 1.0
+        assert math.isnan(fw.state.get(0, "d"))
+        assert fw.metrics.records[-1].sync_values > 0
+
 
 def test_partition_mismatch_rejected():
     g1 = Graph.from_edges([(0, 1)])

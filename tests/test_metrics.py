@@ -65,6 +65,8 @@ def test_summary_keys():
         "reduce_messages", "sync_messages",
         "reduce_values", "sync_values",
         "dense_supersteps", "sparse_supersteps",
+        "replayed_supersteps", "aborted_supersteps",
+        "checkpoints", "checkpoint_values", "restore_values",
     }
 
 
