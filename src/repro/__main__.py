@@ -4,6 +4,8 @@ Usage::
 
     python -m repro list                       # list datasets and apps
     python -m repro run bfs OR                 # run one app on one dataset
+    python -m repro run bfs OR --trace out.jsonl   # ... with structured tracing
+    python -m repro trace summarize out.jsonl  # per-primitive cost table
     python -m repro compare mis OR             # all 5 frameworks, one app
     python -m repro lloc                       # Table I (measured vs paper)
 
@@ -24,6 +26,13 @@ from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostModel
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import make_policy
+from repro.runtime.tracing import (
+    ChromeTraceSink,
+    JsonlSink,
+    Tracer,
+    format_trace_summary,
+    load_trace,
+)
 from repro.runtime.vectorized.dispatch import BACKENDS
 from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
 
@@ -72,12 +81,24 @@ def _print_recovery(extra: dict, cost) -> None:
         print(f"    - {line}")
 
 
+def _make_tracer(args) -> Tracer:
+    """Build the tracer behind ``--trace PATH --trace-format FORMAT``."""
+    if args.trace_format == "chrome":
+        return Tracer(ChromeTraceSink(args.trace))
+    return Tracer(JsonlSink(args.trace))
+
+
 def cmd_run(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
-    run = run_app(
-        "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
-        **_fault_kwargs(args),
-    )
+    tracer = _make_tracer(args) if args.trace else None
+    try:
+        run = run_app(
+            "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
+            tracer=tracer, **_fault_kwargs(args),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     cluster = ClusterSpec(nodes=args.workers, cores_per_node=32)
     cost = run.cost(cluster, CostModel())
     print(f"{args.app} on {args.dataset} ({graph})")
@@ -91,6 +112,22 @@ def cmd_run(args) -> int:
         preview = {k: v for k, v in run.extra.items() if not isinstance(v, (dict, list))}
         if preview:
             print(f"  extra: {preview}")
+    if tracer is not None:
+        print(f"  trace: {tracer.spans_emitted} span(s) -> {args.trace} "
+              f"[{args.trace_format}]")
+        if args.trace_format == "chrome":
+            print("  open in chrome://tracing or https://ui.perfetto.dev")
+        else:
+            print(f"  summarize with: python -m repro trace summarize {args.trace}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    spans = load_trace(args.file)
+    if not spans:
+        print(f"no spans found in {args.file}")
+        return 1
+    print(format_trace_summary(spans, top=args.top))
     return 0
 
 
@@ -162,9 +199,11 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list datasets, applications and frameworks")
 
+    cmd_parsers = {}
     for name, help_text in (("run", "run one app on FLASH"),
                             ("compare", "compare all frameworks on one app")):
         p = sub.add_parser(name, help=help_text)
+        cmd_parsers[name] = p
         p.add_argument("app", choices=APPS)
         p.add_argument("dataset", choices=list(DATASETS))
         p.add_argument("--scale", type=float, default=0.15)
@@ -199,12 +238,35 @@ def main(argv=None) -> int:
                  "against superstep cost via the cost model)",
         )
 
+    cmd_parsers["run"].add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured trace of the run (superstep/barrier/"
+             "recovery spans with ops, messages, mode and backend "
+             "attribution); inspect with 'repro trace summarize PATH'",
+    )
+    cmd_parsers["run"].add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: jsonl (one span per line, the "
+             "summarize input) or chrome (chrome://tracing / Perfetto "
+             "trace_event JSON)",
+    )
+
     sub.add_parser("lloc", help="Table I LLoC matrix")
 
+    p = sub.add_parser("trace", help="inspect a trace file written by run --trace")
+    p.add_argument("action", choices=["summarize"],
+                   help="summarize: per-primitive cost table + top-k supersteps")
+    p.add_argument("file", help="trace file (jsonl or chrome format)")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of most-expensive supersteps to show")
+
     args = parser.parse_args(argv)
-    return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare, "lloc": cmd_lloc}[
-        args.command
-    ](args)
+    return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
+            "lloc": cmd_lloc, "trace": cmd_trace}[args.command](args)
 
 
 if __name__ == "__main__":

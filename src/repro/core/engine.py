@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.analysis import analyze_edge_map, analyze_vertex_map
 from repro.core.dsu import DSU
+from repro.core.primitives import fn_label
 from repro.core.edgeset import BaseEdges, EdgeSet
 from repro.core.subset import VertexSubset
 from repro.core.vertex import RESERVED_ATTRIBUTES, VertexView, WorkingView
@@ -34,11 +35,33 @@ from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostBreakdown, CostModel
 from repro.runtime.flashware import Flashware, FlashwareOptions
 from repro.runtime.metrics import Metrics
+from repro.runtime.tracing import Tracer
 from repro.runtime.vectorized import kernels as _vec
 from repro.runtime.vectorized.dispatch import default_backend, validate_backend
 from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
 
 VertexFn = Callable[..., Any]
+
+
+class _TracedDSU(DSU):
+    """DSU variant handed out by ``engine.dsu()`` under an active
+    tracer: each successful ``union`` emits a ``dsu_union`` instant so
+    union-find work (BCC, MSF) shows up on the trace timeline."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, n: int, tracer: Tracer):
+        super().__init__(n)
+        self._tracer = tracer
+
+    def union(self, x: int, y: int) -> bool:
+        merged = super().union(x, y)
+        if merged:
+            self._tracer.instant(
+                "dsu_union", "dsu", x=int(x), y=int(y),
+                components=self.num_components,
+            )
+        return merged
 
 
 class _RemoteGetView(VertexView):
@@ -70,6 +93,7 @@ class FlashEngine:
         partition_strategy: str = "hash",
         auto_analyze: bool = True,
         backend: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.graph = graph
         if backend is None:
@@ -83,6 +107,13 @@ class FlashEngine:
             partition_strategy=partition_strategy,
             typed_state=self._vectorize,
         )
+        # An explicit tracer overrides the ambient one the Flashware
+        # picked up (see repro.runtime.tracing.use_tracer).
+        if tracer is not None:
+            self.flashware.tracer = tracer
+        # The API call a delegating primitive (adaptive EDGEMAP) is
+        # issuing the next superstep on behalf of — trace attribution.
+        self._issuer: Optional[str] = None
         # Ligra's heuristic: go dense when active work exceeds |arcs| / 20.
         if dense_threshold is None:
             dense_threshold = max(graph.num_arcs // 20, 1)
@@ -102,6 +133,10 @@ class FlashEngine:
     @property
     def metrics(self) -> Metrics:
         return self.flashware.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.flashware.tracer
 
     @property
     def V(self) -> VertexSubset:
@@ -191,6 +226,8 @@ class FlashEngine:
         ``docs/performance.md``)."""
         fw = self.flashware
         fw.begin_superstep("vertex_map", label, frontier_in=subset.size())
+        if fw.tracer.enabled:
+            fw.annotate_span(primitive="VERTEXMAP", F=fn_label(F), M=fn_label(M))
         if self.auto_analyze:
             analyze_vertex_map(self, subset, F, M)
         if (
@@ -199,12 +236,14 @@ class FlashEngine:
             and _vec.vertex_map_supported(self, spec, F, M)
         ):
             self.metrics.note_backend("vectorized")
+            fw.annotate_span(backend="vectorized")
             try:
                 return _vec.run_vertex_map(self, subset, F, M, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
         self.metrics.note_backend("interp")
+        fw.annotate_span(backend="interp")
         out: List[int] = []
         updates: Dict[int, Dict[str, Any]] = {}
         try:
@@ -250,6 +289,7 @@ class FlashEngine:
         The mode decision depends only on topology and frontier size, so
         it is identical on every backend; ``spec`` rides along to the
         chosen kernel."""
+        self._issuer = "EDGEMAP"
         if R is None:
             self.metrics.note_mode("dense")
             return self.edge_map_dense(subset, edges, F, M, C, label=label, spec=spec)
@@ -285,8 +325,17 @@ class FlashEngine:
         if M is None:
             raise FlashUsageError("edge_map_dense requires a map function M")
         fw = self.flashware
+        issuer, self._issuer = self._issuer, None
         edges.prepare(self)
         fw.begin_superstep("edge_map_dense", label, frontier_in=subset.size())
+        if fw.tracer.enabled:
+            fw.annotate_span(
+                primitive=issuer or "EDGEMAPDENSE",
+                mode="dense",
+                F=fn_label(F),
+                M=fn_label(M),
+                C=fn_label(C),
+            )
         if self.auto_analyze:
             analyze_edge_map(self, "edge_map_dense", subset, edges, F, M, C, None)
         if (
@@ -295,12 +344,14 @@ class FlashEngine:
             and _vec.edge_map_supported(self, edges, spec, "dense", F, C)
         ):
             self.metrics.note_backend("vectorized")
+            fw.annotate_span(backend="vectorized")
             try:
                 return _vec.run_edge_map_dense(self, subset, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
         self.metrics.note_backend("interp")
+        fw.annotate_span(backend="interp")
 
         candidates = edges.candidate_targets(self)
         if candidates is None:
@@ -368,8 +419,18 @@ class FlashEngine:
                 "edge_map_dense for the pull mode that applies M sequentially"
             )
         fw = self.flashware
+        issuer, self._issuer = self._issuer, None
         edges.prepare(self)
         fw.begin_superstep("edge_map_sparse", label, frontier_in=subset.size())
+        if fw.tracer.enabled:
+            fw.annotate_span(
+                primitive=issuer or "EDGEMAPSPARSE",
+                mode="sparse",
+                F=fn_label(F),
+                M=fn_label(M),
+                C=fn_label(C),
+                R=fn_label(R),
+            )
         if self.auto_analyze:
             analyze_edge_map(self, "edge_map_sparse", subset, edges, F, M, C, R)
         if (
@@ -379,12 +440,14 @@ class FlashEngine:
             and _vec.edge_map_supported(self, edges, spec, "sparse", F, C)
         ):
             self.metrics.note_backend("vectorized")
+            fw.annotate_span(backend="vectorized")
             try:
                 return _vec.run_edge_map_sparse(self, subset, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
         self.metrics.note_backend("interp")
+        fw.annotate_span(backend="interp")
 
         temps: Dict[int, List[Tuple[Dict[str, Any], int]]] = {}
         out: Set[int] = set()
@@ -437,7 +500,12 @@ class FlashEngine:
     # ------------------------------------------------------------------
     def dsu(self) -> DSU:
         """A fresh disjoint-set over all vertices (the paper's pre-defined
-        ``dsu`` helper used by BCC and MSF)."""
+        ``dsu`` helper used by BCC and MSF).  Under an active tracer the
+        returned DSU emits one ``dsu_union`` instant per successful
+        merge, attributing union-find work to the trace timeline."""
+        tracer = self.flashware.tracer
+        if tracer.enabled:
+            return _TracedDSU(self.graph.num_vertices, tracer)
         return DSU(self.graph.num_vertices)
 
     def collect(self, items_per_vertex: Dict[int, Sequence[Any]], label: str = "reduce") -> List[Any]:
@@ -446,6 +514,8 @@ class FlashEngine:
         remote worker)."""
         fw = self.flashware
         rec = fw.begin_superstep("collect", label)
+        if fw.tracer.enabled:
+            fw.annotate_span(primitive="REDUCE")
         per_worker: Dict[int, int] = {}
         gathered: List[Any] = []
         for vid in sorted(items_per_vertex):

@@ -44,3 +44,22 @@ def bind(fn: Callable, *bound: Any) -> Callable:
 def size(subset: VertexSubset) -> int:
     """``SIZE(U)`` — the number of vertices in the subset."""
     return subset.size()
+
+
+def fn_label(fn: Any) -> str:
+    """A stable display name for a user function, used by the tracing
+    layer to attribute spans to the F/M/C/R that ran.  ``bind``-wrapped
+    functions keep their wrapped name via ``functools.wraps``; unnamed
+    callables fall back to their type name; ``None`` (an omitted
+    function slot) renders empty.
+
+    >>> fn_label(ctrue)
+    'ctrue'
+    >>> fn_label(bind(ctrue, 1))
+    'ctrue'
+    >>> fn_label(None)
+    ''
+    """
+    if fn is None:
+        return ""
+    return getattr(fn, "__name__", None) or type(fn).__name__

@@ -17,7 +17,10 @@ same topology inside a single Python process.  The pieces:
 * :mod:`~repro.runtime.faults` / :mod:`~repro.runtime.recovery` — the
   fault-tolerance layer: deterministic worker-failure injection,
   checkpoint policies and stores, and rollback-replay recovery
-  orchestration (see ``docs/fault_tolerance.md``).
+  orchestration (see ``docs/fault_tolerance.md``);
+* :mod:`~repro.runtime.tracing` — span-based structured tracing of the
+  superstep lifecycle with ring-buffer / JSONL / Chrome ``trace_event``
+  sinks (see ``docs/observability.md``).
 """
 
 from repro.runtime.cluster import ClusterSpec
@@ -39,11 +42,23 @@ from repro.runtime.recovery import (
     run_with_recovery,
 )
 from repro.runtime.state import VertexState
+from repro.runtime.tracing import (
+    ChromeTraceSink,
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+    Span,
+    Tracer,
+    current_tracer,
+    load_trace,
+    use_tracer,
+)
 
 __all__ = [
     "AdaptiveCheckpointPolicy",
     "CheckpointPolicy",
     "CheckpointStore",
+    "ChromeTraceSink",
     "ClusterSpec",
     "CorruptCheckpointError",
     "CostBreakdown",
@@ -53,14 +68,22 @@ __all__ = [
     "FaultPlan",
     "Flashware",
     "FlashwareOptions",
+    "JsonlSink",
     "MemoryCheckpointStore",
     "Metrics",
+    "NULL_TRACER",
     "PeriodicCheckpointPolicy",
     "RecoveryManager",
     "RecoveryReport",
     "RecoveryStats",
+    "RingBufferSink",
+    "Span",
     "SuperstepRecord",
+    "Tracer",
     "VertexState",
     "WorkerFailure",
+    "current_tracer",
+    "load_trace",
     "run_with_recovery",
+    "use_tracer",
 ]

@@ -36,6 +36,16 @@ from repro.graph.partition import PartitionMap, partition_graph
 from repro.runtime.faults import FaultInjector, WorkerFailure
 from repro.runtime.metrics import Metrics, SuperstepRecord
 from repro.runtime.state import VertexState
+from repro.runtime.tracing import SpanHandle, current_tracer
+
+#: Superstep kind -> trace span name (the span taxonomy of
+#: ``docs/observability.md``).
+_SPAN_NAMES = {
+    "vertex_map": "vertexmap",
+    "edge_map_dense": "edgemap.pull",
+    "edge_map_sparse": "edgemap.push",
+    "collect": "collect",
+}
 
 
 def values_equal(a: Any, b: Any) -> bool:
@@ -104,6 +114,11 @@ class Flashware:
         self._critical: Set[str] = set()
         self._analyzed: Set[str] = set()
         self._current: Optional[SuperstepRecord] = None
+        #: Structured tracing (see :mod:`repro.runtime.tracing`).  The
+        #: ambient tracer is picked up at construction; the default is
+        #: the no-op NULL_TRACER, keeping the untraced path free.
+        self.tracer = current_tracer()
+        self._span: Optional[SpanHandle] = None
         # Vertices whose value of a (so far) non-critical property changed
         # without being synced — the debt paid if the property is later
         # promoted to critical.
@@ -163,8 +178,46 @@ class Flashware:
         if not self.in_fast_forward and self.superstep_seq < self._replay_until:
             rec.replayed = True
         self._current = rec
+        if self.tracer.enabled:
+            self._span = self.tracer.start(
+                _SPAN_NAMES.get(kind, kind),
+                "superstep",
+                seq=self.superstep_seq,
+                kind=kind,
+                label=label,
+                frontier_in=frontier_in,
+            )
+            if self.in_fast_forward:
+                self._span.annotate(fast_forward=True)
         self._poll_faults("begin")
         return rec
+
+    def annotate_span(self, **args: Any) -> None:
+        """Attach attribution (primitive, mode, backend, user-function
+        names) to the current superstep's trace span; no-op untraced."""
+        if self._span is not None:
+            self._span.annotate(**args)
+
+    def _end_superstep_span(self, rec: SuperstepRecord) -> None:
+        span = self._span
+        if span is None:
+            return
+        self._span = None
+        args: Dict[str, Any] = {
+            "index": rec.index,
+            "ops": rec.total_ops,
+            "max_worker_ops": rec.max_worker_ops,
+            "reduce_messages": rec.reduce_messages,
+            "reduce_values": rec.reduce_values,
+            "sync_messages": rec.sync_messages,
+            "sync_values": rec.sync_values,
+            "frontier_out": rec.frontier_out,
+        }
+        if rec.replayed:
+            args["replayed"] = True
+        if rec.aborted:
+            args["aborted"] = True
+        span.end(**args)
 
     def _poll_faults(self, phase: str) -> None:
         """Give the fault injector a chance to kill a worker.  A failure
@@ -183,6 +236,7 @@ class Flashware:
         """Close a committed superstep: advance the logical clock and run
         the recovery manager's checkpoint/restore hook."""
         self._current = None
+        self._end_superstep_span(rec)
         self.superstep_seq += 1
         self.metrics.set_suppressed(self.in_fast_forward)
         if self.on_commit is not None:
@@ -226,6 +280,11 @@ class Flashware:
         if rec is None:
             raise RuntimeError("barrier() called outside a superstep")
         self._poll_faults("barrier")
+        sync_span = (
+            self.tracer.start("barrier.sync", "barrier", seq=self.superstep_seq)
+            if self.tracer.enabled
+            else None
+        )
         changed_vids: Set[int] = set()
         contributors = contributors or {}
 
@@ -270,6 +329,14 @@ class Flashware:
                 rec.sync_values += len(mirrors) * size
 
         rec.frontier_out = frontier_out
+        if sync_span is not None:
+            sync_span.end(
+                changed=len(changed_vids),
+                sync_messages=rec.sync_messages,
+                sync_values=rec.sync_values,
+                reduce_messages=rec.reduce_messages,
+                reduce_values=rec.reduce_values,
+            )
         self._finish_commit(rec)
         return changed_vids
 
@@ -303,6 +370,11 @@ class Flashware:
         if rec is None:
             raise RuntimeError("barrier_columnar() called outside a superstep")
         self._poll_faults("barrier")
+        sync_span = (
+            self.tracer.start("barrier.sync", "barrier", seq=self.superstep_seq)
+            if self.tracer.enabled
+            else None
+        )
         ids = np.asarray(ids, dtype=np.int64)
         n_ids = len(ids)
         state = self.state
@@ -397,6 +469,14 @@ class Flashware:
             rec.sync_values += sync_values
 
         rec.frontier_out = frontier_out
+        if sync_span is not None:
+            sync_span.end(
+                changed=int(sum(m.sum() for m in changed_masks.values())),
+                sync_messages=rec.sync_messages,
+                sync_values=rec.sync_values,
+                reduce_messages=rec.reduce_messages,
+                reduce_values=rec.reduce_values,
+            )
         self._finish_commit(rec)
 
     def abort_superstep(self) -> None:
@@ -405,9 +485,14 @@ class Flashware:
         record stays in the log (the work up to the failure was really
         spent) but is flagged so the cost model attributes it to
         recovery, and the logical superstep clock does not advance."""
-        if self._current is not None:
-            self._current.aborted = True
+        rec = self._current
+        if rec is not None:
+            rec.aborted = True
         self._current = None
+        if rec is not None:
+            self._end_superstep_span(rec)
+        else:
+            self._span = None
 
     # ------------------------------------------------------------------
     # Critical-property analysis hooks (paper Table II)

@@ -468,19 +468,44 @@ class RecoveryManager:
         if self._pending is not None and seq >= self._pending[0]:
             ckpt_seq, snapshot = self._pending
             self._pending = None
+            span = (
+                fw.tracer.start("restore", "recovery", seq=ckpt_seq)
+                if fw.tracer.enabled
+                else None
+            )
             fw.restore(snapshot)
+            if span is not None:
+                span.end(restore_values=snapshot_volume(snapshot))
         if fw.in_fast_forward:
             return
         if self.policy.should_checkpoint(fw, rec) and not self.store.has(seq):
+            span = (
+                fw.tracer.start(
+                    "checkpoint", "recovery",
+                    seq=seq, policy=self.policy.describe(),
+                )
+                if fw.tracer.enabled
+                else None
+            )
             volume = self.store.save(seq, fw.checkpoint())
             rec.checkpoints += 1
             rec.checkpoint_values += volume
             self.stats.checkpoints_written += 1
             self.stats.checkpoint_values += volume
+            if span is not None:
+                span.end(volume=volume)
 
     # -- rollback -------------------------------------------------------
     def _rollback(self, fw: Flashware, failure: WorkerFailure) -> None:
         failed_seq = fw.superstep_seq
+        span = (
+            fw.tracer.start(
+                "rollback", "recovery",
+                failed_seq=failed_seq, worker=failure.worker,
+            )
+            if fw.tracer.enabled
+            else None
+        )
         known = len(self.store.seqs())
         found = self.store.latest_valid()
         self.stats.corrupt_checkpoints += known - len(self.store.seqs())
@@ -509,6 +534,16 @@ class RecoveryManager:
         fw.set_replay_window(ff_until=ckpt_seq, replay_until=failed_seq)
         self._pending = (ckpt_seq, snapshot) if snapshot is not None else None
         self.policy.reset()
+        if span is not None:
+            span.end(
+                ckpt_seq=ckpt_seq,
+                restart=snapshot is None,
+                restore_values=rec.restore_values,
+            )
+            fw.tracer.instant(
+                "replay.window", "recovery",
+                ff_until=ckpt_seq, replay_until=failed_seq,
+            )
 
     # -- driver ---------------------------------------------------------
     def run(self, program: Callable[[Any], Any]) -> RecoveryReport:

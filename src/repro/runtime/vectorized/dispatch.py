@@ -50,11 +50,18 @@ def default_backend() -> str:
 def use_backend(name: str) -> Iterator[str]:
     """Temporarily change the default backend for engines constructed
     inside the ``with`` block (including engines nested inside
-    algorithms)."""
+    algorithms).  Under an active ambient tracer the switch is marked
+    on the trace timeline (a ``backend.switch`` instant), so a trace
+    shows which portions of a run executed under which default."""
+    from repro.runtime.tracing import current_tracer
+
     global _default_backend
     validate_backend(name)
     prev = _default_backend
     _default_backend = name
+    tracer = current_tracer()
+    if tracer.enabled and name != prev:
+        tracer.instant("backend.switch", "dispatch", to=name, was=prev)
     try:
         yield name
     finally:

@@ -257,6 +257,8 @@ def run_vertex_map(engine, subset, F, M, spec: VertexMapSpec) -> VertexSubset:
     fw = engine.flashware
     state = fw.state
     rec = fw._current
+    if fw.tracer.enabled:
+        fw.annotate_span(kernel="vertex_map.batch")
     ids = _subset_ids(subset)
 
     if F is not None:
@@ -296,6 +298,8 @@ def run_edge_map_sparse(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
     fw = engine.flashware
     state = fw.state
     rec = fw._current
+    if fw.tracer.enabled:
+        fw.annotate_span(kernel=f"edge_map.scatter[{spec.kind}:{spec.reduce}]")
     U = _subset_ids(subset)
 
     counts = ctx.out_degrees[U]
@@ -376,6 +380,8 @@ def run_edge_map_dense(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
     fw = engine.flashware
     state = fw.state
     rec = fw._current
+    if fw.tracer.enabled:
+        fw.annotate_span(kernel=f"edge_map.segment[{spec.kind}:{spec.reduce}]")
     ids = _subset_ids(subset)
 
     frontier = ctx._frontier_mask

@@ -26,6 +26,7 @@ from repro.runtime.costmodel import CostBreakdown, CostModel
 from repro.runtime.faults import FaultPlan
 from repro.runtime.metrics import Metrics
 from repro.runtime.recovery import CheckpointPolicy, CheckpointStore, run_with_recovery
+from repro.runtime.tracing import Tracer, use_tracer
 
 #: Table IV application keys, in evaluation order.
 APPS: List[str] = [
@@ -141,12 +142,17 @@ def run_app(
     checkpoint_policy: Optional[Callable[[], CheckpointPolicy]] = None,
     checkpoint_store: Optional[Callable[[], CheckpointStore]] = None,
     max_retries: int = 5,
+    tracer: Optional[Tracer] = None,
 ) -> Optional[SuiteRun]:
     """Run one application on one framework.
 
     ``backend`` selects the FLASH execution backend (``interp`` /
     ``vectorized`` / ``auto``); ``None`` keeps the ambient default.
     Baselines always interpret.
+
+    ``tracer`` installs a :class:`~repro.runtime.tracing.Tracer` for the
+    duration of the run (ambiently, so nested engines inherit it);
+    ``None`` keeps the ambient tracer — usually the no-op default.
 
     ``faults`` (a :class:`FaultPlan` or its CLI string form) enables
     fault injection with automatic checkpoint/rollback recovery —
@@ -169,26 +175,27 @@ def run_app(
     if fault_tolerant and framework != "flash":
         raise ValueError("fault injection/recovery is only supported on flash")
     try:
-        if framework == "flash":
-            context = use_backend(backend) if backend is not None else nullcontext()
-            with context:
-                if fault_tolerant:
-                    report = _run_flash_with_recovery(
-                        app, graph, num_workers, faults,
-                        checkpoint_policy, checkpoint_store, max_retries,
-                    )
-                    result = report.result
-                    extra = dict(result.extra)
-                    extra["recovery"] = report.stats.as_dict()
-                    return SuiteRun("flash", app, result.engine.metrics,
-                                    result.values, extra)
-                result = _FLASH_RUNNERS[app](graph, num_workers)
-            return SuiteRun("flash", app, result.engine.metrics, result.values, dict(result.extra))
-        runner = SUITES[framework].get(app)
-        if runner is None:
-            return None
-        baseline = runner(graph, num_workers=num_workers)
-        return SuiteRun(framework, app, baseline.metrics, baseline.values, dict(baseline.extra))
+        with use_tracer(tracer):
+            if framework == "flash":
+                context = use_backend(backend) if backend is not None else nullcontext()
+                with context:
+                    if fault_tolerant:
+                        report = _run_flash_with_recovery(
+                            app, graph, num_workers, faults,
+                            checkpoint_policy, checkpoint_store, max_retries,
+                        )
+                        result = report.result
+                        extra = dict(result.extra)
+                        extra["recovery"] = report.stats.as_dict()
+                        return SuiteRun("flash", app, result.engine.metrics,
+                                        result.values, extra)
+                    result = _FLASH_RUNNERS[app](graph, num_workers)
+                return SuiteRun("flash", app, result.engine.metrics, result.values, dict(result.extra))
+            runner = SUITES[framework].get(app)
+            if runner is None:
+                return None
+            baseline = runner(graph, num_workers=num_workers)
+            return SuiteRun(framework, app, baseline.metrics, baseline.values, dict(baseline.extra))
     except InexpressibleError:
         return None
 

@@ -1,0 +1,36 @@
+"""Documentation health: the docs set exists, internal links resolve,
+and every ``>>>`` example in the markdown runs (so doc snippets cannot
+drift from the code). Mirrors the CI docs job (`tools/check_docs.py`)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import check_doctests, check_links, doc_files  # noqa: E402
+
+
+def test_doc_set_complete():
+    names = {f.name for f in doc_files()}
+    assert {"README.md", "index.md", "programming_model.md",
+            "performance.md", "fault_tolerance.md",
+            "observability.md"} <= names
+
+
+def test_links_resolve():
+    assert check_links(doc_files()) == []
+
+
+def test_doc_examples_run():
+    assert check_doctests(doc_files()) == []
+
+
+def test_checker_cli_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
