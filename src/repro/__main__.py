@@ -8,6 +8,8 @@ Usage::
     python -m repro trace summarize out.jsonl  # per-primitive cost table
     python -m repro compare mis OR             # all 5 frameworks, one app
     python -m repro lloc                       # Table I (measured vs paper)
+    python -m repro lint --all                 # flashlint over every app
+    python -m repro lint bfs cc --json         # ... selected apps, JSON out
 
 The full benchmark harness lives in ``benchmarks/`` (pytest-benchmark).
 """
@@ -15,10 +17,12 @@ The full benchmark harness lives in ``benchmarks/`` (pytest-benchmark).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import load_dataset
 from repro.analysis import paper
+from repro.core.analysis import ANALYSIS_MODES
 from repro.analysis.lloc import TABLE1_ALGORITHMS, TABLE1_FRAMEWORKS, table1_rows
 from repro.analysis.tables import format_table
 from repro.graph.generators import DATASETS
@@ -94,7 +98,7 @@ def cmd_run(args) -> int:
     try:
         run = run_app(
             "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
-            tracer=tracer, **_fault_kwargs(args),
+            analysis=args.analysis, tracer=tracer, **_fault_kwargs(args),
         )
     finally:
         if tracer is not None:
@@ -141,11 +145,12 @@ def cmd_compare(args) -> int:
     for framework in FRAMEWORKS:
         workers = 1 if framework == "ligra" else args.workers
         backend = args.backend if framework == "flash" else None
+        analysis = args.analysis if framework == "flash" else None
         # Faults strike flash only — baselines have no recovery layer, so
         # they run fault-free for reference.
         kwargs = fault_kwargs if framework == "flash" else {}
         run = run_app(framework, args.app, graph, num_workers=workers,
-                      backend=backend, **kwargs)
+                      backend=backend, analysis=analysis, **kwargs)
         if run is None:
             rows.append([framework, "-", "-", "inexpressible"])
             continue
@@ -173,6 +178,37 @@ def cmd_compare(args) -> int:
         print("flash fault tolerance:")
         _print_recovery(extra, cost)
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.staticpass import RULES, lint_apps, summarize
+
+    if args.rules:
+        print("flashlint rule catalog:")
+        for rule, (severity, description) in RULES.items():
+            print(f"  {rule:24s} [{severity:7s}] {description}")
+        return 0
+    if not args.all and not args.app:
+        print("lint: name at least one app, or pass --all", file=sys.stderr)
+        return 2
+    unknown = [app for app in args.app if app not in APPS]
+    if unknown:
+        print(f"lint: unknown app(s) {', '.join(unknown)}; "
+              f"expected any of: {', '.join(APPS)}", file=sys.stderr)
+        return 2
+    findings_by_app = lint_apps(None if args.all else args.app)
+    payload = summarize(findings_by_app)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for app in payload["apps"]:
+            for finding in findings_by_app[app]:
+                print(finding.render())
+        print(
+            f"linted {len(payload['apps'])} app(s): "
+            f"{payload['errors']} error(s), {payload['warnings']} warning(s)"
+        )
+    return 1 if payload["errors"] else 0
 
 
 def cmd_lloc(_args) -> int:
@@ -213,6 +249,14 @@ def main(argv=None) -> int:
             choices=list(BACKENDS),
             default="interp",
             help="FLASH execution backend (vectorized = NumPy columnar kernels)",
+        )
+        p.add_argument(
+            "--analysis",
+            choices=list(ANALYSIS_MODES),
+            default=None,
+            help="critical-property analysis mode: static (ahead-of-time, "
+                 "default), trace (runtime sampling), check (static + trace "
+                 "cross-check oracle), off",
         )
         p.add_argument(
             "--faults",
@@ -257,6 +301,19 @@ def main(argv=None) -> int:
 
     sub.add_parser("lloc", help="Table I LLoC matrix")
 
+    p = sub.add_parser(
+        "lint",
+        help="flashlint: static-analysis misuse checks over FLASH apps",
+    )
+    p.add_argument("app", nargs="*", metavar="app",
+                   help=f"apps to lint, from: {', '.join(APPS)}")
+    p.add_argument("--all", action="store_true",
+                   help="lint the whole application suite")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (findings + rule catalog)")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+
     p = sub.add_parser("trace", help="inspect a trace file written by run --trace")
     p.add_argument("action", choices=["summarize"],
                    help="summarize: per-primitive cost table + top-k supersteps")
@@ -266,7 +323,7 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-            "lloc": cmd_lloc, "trace": cmd_trace}[args.command](args)
+            "lloc": cmd_lloc, "trace": cmd_trace, "lint": cmd_lint}[args.command](args)
 
 
 if __name__ == "__main__":

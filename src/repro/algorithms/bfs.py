@@ -60,7 +60,8 @@ def bfs(
         return t
 
     init_spec = VertexMapSpec(
-        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)}
+        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)},
+        writes=("dis",),
     )
     root_spec = VertexMapSpec(filter=lambda k: k.ids == root)
 

@@ -26,7 +26,7 @@ from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
 
 # Kernel specs for the vectorized backend (dispatch falls back to the
 # interpreted callables whenever they cannot apply).
-_INIT_SPEC = VertexMapSpec(map=lambda k: {"cc": k.ids})
+_INIT_SPEC = VertexMapSpec(map=lambda k: {"cc": k.ids}, writes=("cc",))
 _STEP_SPEC = EdgeMapSpec(
     prop="cc",
     reduce="min",

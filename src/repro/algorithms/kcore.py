@@ -21,12 +21,12 @@ from repro.errors import ReproError
 from repro.graph.graph import Graph
 from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
 
-_INIT_SPEC = VertexMapSpec(map=lambda k: {"d": k.deg})
+_INIT_SPEC = VertexMapSpec(map=lambda k: {"d": k.deg}, writes=("d",))
 # Peeling decrement: each peeled neighbor subtracts one from the
 # induced degree (the reduce ignores temp values, so plain sum of -1).
 _DEC_SPEC = EdgeMapSpec(prop="d", reduce="sum", value=-1, reads=("d",))
 
-_OPT_INIT_SPEC = VertexMapSpec(map=lambda k: {"core": k.deg})
+_OPT_INIT_SPEC = VertexMapSpec(map=lambda k: {"core": k.deg}, writes=("core",))
 # Support count: one per neighbor whose estimate is at least ours.
 _COUNT_SPEC = EdgeMapSpec(
     prop="cnt",
@@ -81,6 +81,7 @@ def kcore_basic(
             filter=lambda b, k=k: b.p("d") < k,
             map=lambda b, k=k: {"core": k - 1},
             reads=("d", "core"),
+            writes=("core",),
         )
         while True:
             iterations += 1
@@ -160,6 +161,7 @@ def kcore_opt(
         map=lambda b: {"cnt": 0, "c": [{} for _ in range(len(b))]},
         reads=("cnt",),
         raw_reads=("c",),
+        writes=("cnt", "c"),
     )
 
     frontier = eng.vertex_map(eng.V, ctrue, init, label="kc_opt:init", spec=_OPT_INIT_SPEC)

@@ -23,6 +23,7 @@ from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
 _INIT_SPEC = VertexMapSpec(
     map=lambda k: {"c": k.ids, "cc": k.ids, "inbox": [[] for _ in range(len(k))]},
     raw_reads=("inbox",),
+    writes=("c", "cc", "inbox"),
 )
 # Gossip: append the source's label to every neighbor's inbox (a gather
 # into the list-valued column, pull mode).
@@ -36,6 +37,7 @@ _COMMIT_SPEC = VertexMapSpec(
     filter=lambda k: k.p("c") != k.p("cc"),
     map=lambda k: {"c": k.p("cc")},
     reads=("c", "cc"),
+    writes=("c",),
 )
 
 
@@ -72,7 +74,9 @@ def _tally(batch) -> Dict[str, object]:
     return {"cc": cc_new, "inbox": [[] for _ in range(len(lists))]}
 
 
-_TALLY_SPEC = VertexMapSpec(map=_tally, reads=("c", "cc"), raw_reads=("inbox",))
+_TALLY_SPEC = VertexMapSpec(
+    map=_tally, reads=("c", "cc"), raw_reads=("inbox",), writes=("cc", "inbox")
+)
 
 
 def lpa(

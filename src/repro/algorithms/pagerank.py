@@ -70,6 +70,7 @@ def pagerank(
                 "acc": np.zeros(len(k)),
             },
             reads=("acc", "rank"),
+            writes=("rank", "acc"),
         )
 
         eng.edge_map(

@@ -63,7 +63,8 @@ def sssp(
         return d
 
     init_spec = VertexMapSpec(
-        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)}
+        map=lambda k: {"dis": np.where(k.ids == root, 0.0, INF)},
+        writes=("dis",),
     )
     root_spec = VertexMapSpec(filter=lambda k: k.ids == root)
 

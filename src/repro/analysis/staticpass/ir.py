@@ -1,0 +1,166 @@
+"""Access-set IR of the ahead-of-time static analyzer.
+
+The analyzer (:mod:`repro.analysis.staticpass.analyzer`) turns every
+user function of a FLASH kernel into a :class:`FunctionAccess` — the
+set of vertex-property reads and writes it can perform on **any**
+control-flow path, attributed to the *role* each vertex argument plays
+in the kernel (``source`` / ``target`` / ``self``).  A kernel's
+functions combine into a :class:`KernelAccess`, the unit Table II
+classification (:mod:`repro.analysis.staticpass.tableii`), spec
+validation and the :mod:`repro.analysis.staticpass.lint` rules all
+operate on.
+
+Unlike the sample tracer in :mod:`repro.core.analysis`, which observes
+one concrete path per superstep, the IR is a *may*-analysis: an access
+that happens on any branch is in the set.  Over-approximation is safe —
+a property synced without need costs messages, a property missed costs
+correctness — which is what "sound critical-property inference" means
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+#: Vertex-argument roles (paper §IV-B): the source / target of an edge
+#: function, or the single vertex of a VERTEXMAP function.
+ROLES = ("source", "target", "self")
+
+#: Kernel kinds the classification distinguishes (Table II rows).
+KERNEL_KINDS = ("vertex_map", "edge_map_dense", "edge_map_sparse")
+
+#: The kernel's user-function slots, in engine argument order.
+SLOTS = ("C", "F", "M", "R")
+
+#: One (role, property) access.
+Access = Tuple[str, str]
+
+
+@dataclass
+class FunctionAccess:
+    """All property accesses one user function may perform."""
+
+    name: str = "<unknown>"
+    filename: str = ""
+    lineno: int = 0
+    #: Parameter names bound to vertex roles, in order.
+    param_names: Tuple[str, ...] = ()
+    #: (role, property) pairs that may be read / written on any path.
+    reads: Set[Access] = field(default_factory=set)
+    writes: Set[Access] = field(default_factory=set)
+    #: Properties read through ``engine.get(...)`` views — reads of an
+    #: arbitrary (possibly remote) vertex, critical in every kernel kind.
+    remote_reads: Set[str] = field(default_factory=set)
+    #: Properties written through ``engine.get(...)`` views (a model
+    #: violation — the view is read-only at runtime).
+    remote_writes: Set[str] = field(default_factory=set)
+    #: Roles whose accesses could not be fully resolved (dynamic
+    #: ``getattr`` with a non-literal name, the whole view escaping into
+    #: an unresolvable callee, ...).  Any entry makes the kernel's
+    #: classification incomplete.
+    unknown_roles: Set[str] = field(default_factory=set)
+    #: True when no source/AST was recoverable at all.
+    unanalyzable: bool = False
+    #: Captured (free or module-global) names the function mutates —
+    #: rebinding via ``global``/``nonlocal`` or in-place mutation calls.
+    mutated_globals: Set[str] = field(default_factory=set)
+    #: Index of the bare parameter returned by a ``return <param>``
+    #: statement, if any (reduce-order sensitivity: ``return t`` picks
+    #: whichever temp arrives first).
+    returns_param: Optional[int] = None
+    #: Properties assigned from a non-commutative binary expression over
+    #: two *same-role* parameters (only meaningful for ``R``, whose two
+    #: parameters are both the target).
+    noncomm_writes: Set[str] = field(default_factory=set)
+    #: Writes to a role parameter inside this function keyed by role —
+    #: mirrors ``writes`` but kept per slot for the lint rules.
+
+    # -- set algebra helpers -------------------------------------------
+    def role_reads(self, role: str) -> Set[str]:
+        return {p for r, p in self.reads if r == role}
+
+    def role_writes(self, role: str) -> Set[str]:
+        return {p for r, p in self.writes if r == role}
+
+    @property
+    def complete(self) -> bool:
+        return not self.unanalyzable and not self.unknown_roles
+
+    @property
+    def location(self) -> str:
+        if not self.filename:
+            return self.name
+        return f"{self.name} ({self.filename}:{self.lineno})"
+
+
+@dataclass
+class KernelAccess:
+    """The combined access sets of one kernel's F/M/C/R functions."""
+
+    kind: str
+    #: Slot name -> FunctionAccess (``None`` for omitted slots).
+    slots: Dict[str, Optional[FunctionAccess]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KERNEL_KINDS:
+            raise ValueError(f"unknown kernel kind {self.kind!r}")
+
+    # -- aggregates ----------------------------------------------------
+    def _union(self, attr: str) -> Set:
+        out: Set = set()
+        for fa in self.slots.values():
+            if fa is not None:
+                out |= getattr(fa, attr)
+        return out
+
+    @property
+    def reads(self) -> Set[Access]:
+        return self._union("reads")
+
+    @property
+    def writes(self) -> Set[Access]:
+        return self._union("writes")
+
+    @property
+    def remote_reads(self) -> Set[str]:
+        return self._union("remote_reads")
+
+    @property
+    def remote_writes(self) -> Set[str]:
+        return self._union("remote_writes")
+
+    @property
+    def unknown_roles(self) -> Set[str]:
+        return self._union("unknown_roles")
+
+    @property
+    def complete(self) -> bool:
+        """Whether every present slot was fully analyzed — only then is
+        the static classification sound on its own (otherwise the engine
+        keeps the sample tracer as a safety net for this kernel)."""
+        return all(fa is None or fa.complete for fa in self.slots.values())
+
+    @property
+    def seen(self) -> Set[str]:
+        """Every property the kernel may touch (Table II's input set)."""
+        props = {p for _, p in self.reads | self.writes}
+        return props | self.remote_reads | self.remote_writes
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly dump (the ``repro lint --json`` payload)."""
+        return {
+            "kind": self.kind,
+            "complete": self.complete,
+            "reads": sorted(f"{r}.{p}" for r, p in self.reads),
+            "writes": sorted(f"{r}.{p}" for r, p in self.writes),
+            "remote_reads": sorted(self.remote_reads),
+            "functions": {
+                slot: (fa.location if fa is not None else None)
+                for slot, fa in self.slots.items()
+            },
+        }
+
+
+#: Frozen empty access — shared placeholder for omitted slots.
+EMPTY_ACCESS: FrozenSet = frozenset()

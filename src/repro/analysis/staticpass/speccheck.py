@@ -1,0 +1,60 @@
+"""Validate declared spec access sets against the static analyzer.
+
+Vectorized kernel specs (:mod:`repro.runtime.vectorized.specs`) are
+optimization *hints*: the interpreted F/M/C/R callables stay the source
+of truth.  That makes a divergent spec a silent performance-or-semantics
+hazard — the spec path would compute something the callables don't.
+With the static analyzer in place the engine can cross-check the two:
+every property the callables may write or read must be covered by the
+spec's declared access sets.  Mismatches don't change execution (the
+hint is still applied exactly as before); they surface as engine
+diagnostics, the same channel static-fallback and trace-disagreement
+notes use.
+
+Only *under*-declaration is reported.  A spec declaring more than the
+analyzer found is harmless — declared sets are upper bounds the
+dispatcher uses for column checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.staticpass.tableii import StaticClassification
+
+
+def check_spec(kind: str, spec, classification: StaticClassification) -> List[str]:
+    """Compare one kernel's static access sets against the spec passed
+    alongside it.  Returns diagnostic strings (empty = consistent);
+    incomplete classifications are skipped (nothing sound to compare)."""
+    if not classification.complete:
+        return []
+    access = classification.access
+    static_reads = {p for _, p in access.reads} | access.remote_reads
+    static_writes = {p for _, p in access.writes}
+    diagnostics: List[str] = []
+
+    declared = spec.declared_access()
+    declared_reads: Set[str] = set(declared["reads"])
+    declared_writes: Set[str] = set(declared["writes"])
+    if kind == "vertex_map" and not declared_writes:
+        # Legacy spec without declared writes: nothing to check against
+        # (reads alone are dispatch requirements, not a complete access
+        # declaration).
+        return []
+
+    missing_writes = static_writes - declared_writes
+    if missing_writes:
+        diagnostics.append(
+            f"{kind}: user functions write "
+            + ", ".join(sorted(missing_writes))
+            + " but the spec declares writes=" + repr(sorted(declared_writes))
+        )
+    missing_reads = static_reads - declared_reads - declared_writes
+    if missing_reads:
+        diagnostics.append(
+            f"{kind}: user functions read "
+            + ", ".join(sorted(missing_reads))
+            + " but the spec declares reads=" + repr(sorted(declared_reads))
+        )
+    return diagnostics

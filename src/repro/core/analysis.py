@@ -9,20 +9,47 @@ to mirrors) iff it is
 * ``get`` as the **source** property of an ``EDGEMAPDENSE``, or
 * ``get``/``put`` as the **target** property of an ``EDGEMAPSPARSE``.
 
-Since our kernels interpret user functions directly, we reproduce the
-analysis by *tracing*: before a kernel's main loop, its user functions
-run once against recording views on a sample edge, and the recorded
-events are classified by the same table.  Writes during tracing are
-discarded.  (Branch-dependent accesses may be missed on the sample —
-the same limitation any single-path abstract interpretation has; the
-engine's ``get`` handle additionally promotes properties read remotely
-at runtime, see :meth:`repro.core.engine.FlashEngine.get`.)
+This module is the engine-side dispatcher between the two reproductions
+of that analysis:
+
+``static`` (the default)
+    The ahead-of-time pass (:mod:`repro.analysis.staticpass`): user
+    functions are recovered from source and analyzed over **all**
+    control-flow branches, so the critical set is complete before the
+    kernel's first superstep.  When a kernel resists analysis (no
+    recoverable source, a dynamic access the AST pass cannot resolve)
+    the runtime tracer below takes over for that kernel and the engine
+    records a diagnostic.
+
+``trace``
+    The original runtime approximation: before a kernel's main loop, its
+    user functions run once against recording views on a sample edge and
+    the recorded events are classified by the same table.  Writes during
+    tracing are discarded, and tracing charges no ops (analysis is not
+    user work).  Branch-dependent accesses may be missed on the sample —
+    the limitation any single-path abstract interpretation has; the
+    engine's ``get`` handle additionally promotes properties read
+    remotely at runtime, see :meth:`repro.core.engine.FlashEngine.get`.
+
+``check``
+    Both: the static sets are applied, then the trace runs as a
+    cross-check oracle.  A sound static pass covers everything the trace
+    observes; anything the trace sees that the static pass missed is
+    surfaced as an engine diagnostic.
+
+``off``
+    No analysis (``FlashEngine(auto_analyze=False)``) — nothing is ever
+    marked critical.
+
+The mode is per-engine (``FlashEngine(analysis=...)``), defaulting to
+the ambient mode set with :func:`use_analysis` — mirroring how nested
+engines inherit the ambient backend.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.edgeset import EdgeSet
 from repro.core.subset import VertexSubset
@@ -30,7 +57,66 @@ from repro.core.vertex import TracingView
 
 Event = Tuple[str, str, str]  # (op, role, property)
 
+# ---------------------------------------------------------------------------
+# Analysis-mode selection (ambient default + per-engine override)
+# ---------------------------------------------------------------------------
+ANALYSIS_MODES = ("static", "trace", "check", "off")
 
+_default_analysis = "static"
+_default_remote_promotion = True
+
+
+def validate_analysis(name: str) -> str:
+    if name not in ANALYSIS_MODES:
+        raise ValueError(
+            f"unknown analysis mode {name!r}; expected one of "
+            + ", ".join(ANALYSIS_MODES)
+        )
+    return name
+
+
+def default_analysis() -> str:
+    """The analysis mode new engines use when none is passed explicitly."""
+    return _default_analysis
+
+
+def default_remote_promotion() -> bool:
+    """Whether new engines promote properties read through ``engine.get``
+    to critical at runtime (the safety net a complete static pass makes
+    redundant)."""
+    return _default_remote_promotion
+
+
+@contextmanager
+def use_analysis(
+    name: str, remote_promotion: Optional[bool] = None
+) -> Iterator[str]:
+    """Temporarily change the default analysis mode for engines
+    constructed inside the ``with`` block (nested engines included —
+    same ambient pattern as
+    :func:`repro.runtime.vectorized.dispatch.use_backend`).
+
+    ``remote_promotion=False`` additionally disables the runtime
+    ``engine.get`` promotion fallback for those engines — the setting
+    the static-parity tests use to prove the ahead-of-time sets are
+    complete on their own."""
+    global _default_analysis, _default_remote_promotion
+    validate_analysis(name)
+    prev = _default_analysis
+    prev_promo = _default_remote_promotion
+    _default_analysis = name
+    if remote_promotion is not None:
+        _default_remote_promotion = remote_promotion
+    try:
+        yield name
+    finally:
+        _default_analysis = prev
+        _default_remote_promotion = prev_promo
+
+
+# ---------------------------------------------------------------------------
+# Table II over runtime traces
+# ---------------------------------------------------------------------------
 def classify_events(kind: str, events: Iterable[Event]) -> Tuple[Set[str], Set[str]]:
     """Apply Table II to a trace.
 
@@ -60,43 +146,160 @@ def _run_traced(fn: Optional[Callable], args: tuple) -> None:
         pass
 
 
-def analyze_vertex_map(engine, subset: VertexSubset, F, M) -> None:
-    """Trace a VERTEXMAP call.  Per Table II, VERTEXMAP accesses are never
-    critical; we only record which properties the program touches."""
+# ---------------------------------------------------------------------------
+# The static pass (lazy import: repro.analysis.staticpass pulls in the
+# engine for get-view detection, so the dependency must stay one-way at
+# import time)
+# ---------------------------------------------------------------------------
+_staticpass = None
+
+
+def _get_staticpass():
+    global _staticpass
+    if _staticpass is None:
+        from repro.analysis import staticpass
+
+        _staticpass = staticpass
+    return _staticpass
+
+
+def _apply_static(engine, kind: str, label: str, F=None, M=None, C=None, R=None):
+    """Run the ahead-of-time pass for one kernel and register its verdict
+    with FLASHWARE.  Returns the classification, or ``None`` when the
+    analyzer itself failed (never breaks execution)."""
+    sp = _get_staticpass()
+    try:
+        classification = sp.analyze_kernel(kind, F=F, M=M, C=C, R=R)
+    except Exception as exc:  # analyzer defect — degrade to tracing
+        engine.note_diagnostic(
+            f"static analyzer error on {kind}:{label or '-'}: {exc!r}; "
+            "falling back to sample tracing"
+        )
+        return None
+    fw = engine.flashware
+    # Properties the program has not declared (yet) cannot be marked;
+    # the analysis re-applies on the kernel's next superstep, so a
+    # property declared later is picked up then — the same timing the
+    # tracer has (it cannot observe an undeclared property either).
+    fw.mark_critical(
+        p for p in classification.critical if fw.state.has_property(p)
+    )
+    fw.note_analyzed(classification.seen)
+    if not classification.complete:
+        engine.note_diagnostic(
+            f"static analysis incomplete for {kind}:{label or '-'} "
+            f"(unresolved roles: {sorted(classification.access.unknown_roles) or 'n/a'}); "
+            "sample tracing takes over for this kernel"
+        )
+    if sp.program.capturing():
+        sp.program.record(engine, kind, label, classification)
+    return classification
+
+
+def validate_spec(engine, kind: str, spec, classification) -> None:
+    """Cross-check a vectorized spec's declared access sets against the
+    static classification (diagnostics only, never changes execution)."""
+    if spec is None or classification is None or not classification.complete:
+        return
+    sp = _get_staticpass()
+    for message in sp.check_spec(kind, spec, classification):
+        engine.note_diagnostic(f"spec mismatch in {kind}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Engine entry points (one call per kernel superstep)
+# ---------------------------------------------------------------------------
+def analyze_vertex_map(engine, subset: VertexSubset, F, M, label: str = ""):
+    """Analyze a VERTEXMAP call.  Per Table II, VERTEXMAP accesses are
+    never critical; only ``engine.get`` reads inside the map (found
+    statically, or promoted at runtime) can mark anything.  Returns the
+    static classification when one was computed."""
+    mode = engine.analysis
+    if mode == "off":
+        return None
+    static_res = None
+    if mode in ("static", "check"):
+        static_res = _apply_static(engine, "vertex_map", label, F=F, M=M)
+        if mode == "static" and static_res is not None and static_res.complete:
+            return static_res
+
     sample = next(iter(subset), None)
     if sample is None:
-        return
+        return static_res
     events: List[Event] = []
     v = TracingView(engine, sample, "self", events)
-    _run_traced(F, (v,))
-    _run_traced(M, (v,))
+    fw = engine.flashware
+    with fw.suppressed_ops():
+        _run_traced(F, (v,))
+        _run_traced(M, (v,))
     _, seen = classify_events("vertex_map", events)
-    engine.flashware.note_analyzed(seen)
+    fw.note_analyzed(seen)
+    if mode == "check" and static_res is not None:
+        _cross_check(engine, static_res, set(), seen, label)
+    return static_res
 
 
-def analyze_edge_map(engine, kind: str, subset: VertexSubset, edges: EdgeSet, F, M, C, R) -> None:
-    """Trace an EDGEMAP call on a sample active edge and mark the critical
-    properties before the kernel runs."""
+def analyze_edge_map(
+    engine,
+    kind: str,
+    subset: VertexSubset,
+    edges: EdgeSet,
+    F,
+    M,
+    C,
+    R,
+    label: str = "",
+):
+    """Analyze an EDGEMAP call and mark the critical properties before
+    the kernel runs.  Returns the static classification when one was
+    computed."""
+    mode = engine.analysis
+    if mode == "off":
+        return None
+    static_res = None
+    if mode in ("static", "check"):
+        static_res = _apply_static(engine, kind, label, F=F, M=M, C=C, R=R)
+        if mode == "static" and static_res is not None and static_res.complete:
+            return static_res
+
     sample = None
-    for u in itertools.islice(subset, 8):
+    for u in subset:
         targets = edges.out_targets(engine, u)
         if len(targets):
             sample = (u, int(targets[0]))
             break
     if sample is None:
-        first = next(iter(subset), None)
-        if first is None:
-            return
-        sample = (first, first)
+        # No active edge anywhere in the subset: a role-faithful trace is
+        # impossible.  (The old fallback traced a (first, first) self-loop,
+        # conflating the source and target roles — in a sparse kernel that
+        # promoted source-read properties to critical and over-synced.)
+        return static_res
 
     events: List[Event] = []
     src = TracingView(engine, sample[0], "source", events)
     dst = TracingView(engine, sample[1], "target", events)
     tmp = TracingView(engine, sample[1], "target", events)
-    _run_traced(C, (dst,))
-    _run_traced(F, (src, dst))
-    _run_traced(M, (src, dst))
-    _run_traced(R, (tmp, dst))
+    fw = engine.flashware
+    with fw.suppressed_ops():
+        _run_traced(C, (dst,))
+        _run_traced(F, (src, dst))
+        _run_traced(M, (src, dst))
+        _run_traced(R, (tmp, dst))
     critical, seen = classify_events(kind, events)
-    engine.flashware.mark_critical(critical)
-    engine.flashware.note_analyzed(seen)
+    fw.mark_critical(p for p in critical if fw.state.has_property(p))
+    fw.note_analyzed(seen)
+    if mode == "check" and static_res is not None:
+        _cross_check(engine, static_res, critical, seen, label)
+    return static_res
+
+
+def _cross_check(engine, static_res, traced_critical, traced_seen, label) -> None:
+    """Under ``analysis="check"``: compare trace oracle vs static pass
+    and surface soundness disagreements (trace saw something static
+    missed) as diagnostics."""
+    sp = _get_staticpass()
+    disagreement = sp.cross_check(static_res, traced_critical, traced_seen)
+    if disagreement is not None:
+        engine.note_diagnostic(
+            f"static/trace disagreement on {label or static_res.kind}: {disagreement}"
+        )

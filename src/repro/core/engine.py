@@ -23,7 +23,14 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set,
 
 import numpy as np
 
-from repro.core.analysis import analyze_edge_map, analyze_vertex_map
+from repro.core.analysis import (
+    analyze_edge_map,
+    analyze_vertex_map,
+    default_analysis,
+    default_remote_promotion,
+    validate_analysis,
+    validate_spec,
+)
 from repro.core.dsu import DSU
 from repro.core.primitives import fn_label
 from repro.core.edgeset import BaseEdges, EdgeSet
@@ -69,15 +76,23 @@ class _RemoteGetView(VertexView):
     touch an arbitrary (possibly remote) vertex, so the property must be
     kept consistent on mirrors — it is promoted to critical on first use
     (the ahead-of-time code generator would reach the same verdict from
-    the ``get`` call site)."""
+    the ``get`` call site).
+
+    The static pass (:mod:`repro.analysis.staticpass`) reaches the same
+    verdict ahead of time for ``get`` calls inside kernel user functions,
+    so under ``analysis="static"`` this runtime promotion is a redundant
+    safety net; ``FlashEngine(remote_promotion=False)`` disables it to
+    prove exactly that (see ``tests/test_static_parity.py``)."""
 
     __slots__ = ()
 
     def __getattr__(self, name: str) -> Any:
         value = super().__getattr__(name)
-        fw = self._engine.flashware
-        if not fw.is_critical(name) and fw.state.has_property(name):
-            fw.mark_critical([name])
+        engine = self._engine
+        if engine.remote_promotion:
+            fw = engine.flashware
+            if not fw.is_critical(name) and fw.state.has_property(name):
+                fw.mark_critical([name])
         return value
 
 
@@ -94,6 +109,8 @@ class FlashEngine:
         auto_analyze: bool = True,
         backend: Optional[str] = None,
         tracer: Optional[Tracer] = None,
+        analysis: Optional[str] = None,
+        remote_promotion: Optional[bool] = None,
     ):
         self.graph = graph
         if backend is None:
@@ -119,6 +136,27 @@ class FlashEngine:
             dense_threshold = max(graph.num_arcs // 20, 1)
         self.dense_threshold = dense_threshold
         self.auto_analyze = auto_analyze
+        #: How critical properties are inferred: ``static`` (ahead-of-time
+        #: AST pass, the default), ``trace`` (runtime sample tracing),
+        #: ``check`` (static + trace oracle cross-check) or ``off``.
+        #: ``auto_analyze=False`` forces ``off`` (back-compat switch).
+        if not auto_analyze:
+            self.analysis = "off"
+        elif analysis is not None:
+            self.analysis = validate_analysis(analysis)
+        else:
+            self.analysis = default_analysis()
+        #: Whether ``engine.get`` promotes properties to critical on
+        #: first remote read (the runtime safety net the static pass
+        #: makes redundant for analyzable programs).  ``None`` inherits
+        #: the ambient default (see :func:`use_analysis`).
+        if remote_promotion is None:
+            remote_promotion = default_remote_promotion()
+        self.remote_promotion = remote_promotion
+        #: Analysis diagnostics: static fallbacks, ``check``-mode
+        #: disagreements, vectorized-spec access mismatches.
+        self.diagnostics: List[str] = []
+        self._diagnostic_keys: Set[str] = set()
         self._E = BaseEdges()
         self._owner = self.flashware.partition.owner_of
         self._out_degree_cache: Optional[np.ndarray] = None
@@ -199,6 +237,18 @@ class FlashEngine:
         MSF), so the cost model sees the real per-worker load."""
         self.flashware.charge_ops(self._owner(vid), ops)
 
+    def note_diagnostic(self, message: str) -> None:
+        """Record an analysis diagnostic (deduplicated — kernels re-run
+        their analysis every superstep) and forward it to any active
+        program capture (``repro lint`` collection)."""
+        if message in self._diagnostic_keys:
+            return
+        self._diagnostic_keys.add(message)
+        self.diagnostics.append(message)
+        from repro.analysis.staticpass import program as _program
+
+        _program.record_diagnostic(message)
+
     # ------------------------------------------------------------------
     # SIZE
     # ------------------------------------------------------------------
@@ -228,8 +278,10 @@ class FlashEngine:
         fw.begin_superstep("vertex_map", label, frontier_in=subset.size())
         if fw.tracer.enabled:
             fw.annotate_span(primitive="VERTEXMAP", F=fn_label(F), M=fn_label(M))
-        if self.auto_analyze:
-            analyze_vertex_map(self, subset, F, M)
+        if self.auto_analyze and self.analysis != "off":
+            classification = analyze_vertex_map(self, subset, F, M, label=label)
+            if spec is not None:
+                validate_spec(self, "vertex_map", spec, classification)
         if (
             spec is not None
             and self._vectorize
@@ -336,8 +388,12 @@ class FlashEngine:
                 M=fn_label(M),
                 C=fn_label(C),
             )
-        if self.auto_analyze:
-            analyze_edge_map(self, "edge_map_dense", subset, edges, F, M, C, None)
+        if self.auto_analyze and self.analysis != "off":
+            classification = analyze_edge_map(
+                self, "edge_map_dense", subset, edges, F, M, C, None, label=label
+            )
+            if spec is not None:
+                validate_spec(self, "edge_map_dense", spec, classification)
         if (
             spec is not None
             and self._vectorize
@@ -431,8 +487,12 @@ class FlashEngine:
                 C=fn_label(C),
                 R=fn_label(R),
             )
-        if self.auto_analyze:
-            analyze_edge_map(self, "edge_map_sparse", subset, edges, F, M, C, R)
+        if self.auto_analyze and self.analysis != "off":
+            classification = analyze_edge_map(
+                self, "edge_map_sparse", subset, edges, F, M, C, R, label=label
+            )
+            if spec is not None:
+                validate_spec(self, "edge_map_sparse", spec, classification)
         if (
             spec is not None
             and self._vectorize

@@ -32,12 +32,21 @@ def bind(fn: Callable, *bound: Any) -> Callable:
     ``INIT.bind(root)`` in the paper becomes ``bind(init, root)`` here:
     the kernel calls the result with its usual vertex arguments and the
     bound globals arrive after them.
+
+    The wrapper advertises the bound values as ``__flash_bound__`` (and
+    the wrapped function via ``functools.wraps``'s ``__wrapped__``), so
+    the static analyzer (:mod:`repro.analysis.staticpass.analyzer`) can
+    see through the binding: the leading parameters keep their vertex
+    roles, and the trailing parameters resolve to the concrete bound
+    objects — which is how e.g. a bound engine's ``get`` calls are
+    recognized inside a kernel.
     """
 
     @functools.wraps(fn)
     def wrapper(*args: Any):
         return fn(*args, *bound)
 
+    wrapper.__flash_bound__ = bound
     return wrapper
 
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import copy
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -114,6 +115,7 @@ class Flashware:
         self._critical: Set[str] = set()
         self._analyzed: Set[str] = set()
         self._current: Optional[SuperstepRecord] = None
+        self._ops_suppressed = False
         #: Structured tracing (see :mod:`repro.runtime.tracing`).  The
         #: ambient tracer is picked up at construction; the default is
         #: the no-op NULL_TRACER, keeping the untraced path free.
@@ -244,7 +246,24 @@ class Flashware:
 
     def charge_ops(self, worker: int, n: int = 1) -> None:
         """Charge ``n`` user-function evaluations to ``worker``."""
+        if self._ops_suppressed:
+            return
         self._current.worker_ops[worker] += n
+
+    @contextmanager
+    def suppressed_ops(self) -> Iterator[None]:
+        """Discard :meth:`charge_ops` inside the block.  Used while the
+        analysis tracer runs user functions against recording views:
+        analysis is not user work, and any ``engine.charge`` calls the
+        functions make during a trace must not skew the ops metrics
+        (the static pass runs no user code at all, and the two modes
+        must account identically)."""
+        prev = self._ops_suppressed
+        self._ops_suppressed = True
+        try:
+            yield
+        finally:
+            self._ops_suppressed = prev
 
     def barrier(
         self,

@@ -46,12 +46,25 @@ live object column, ``k.ids``, ``k.deg``/``k.out_deg``/``k.in_deg``,
 ``reads`` / ``raw_reads`` list the properties a spec touches; dispatch
 requires every ``reads`` entry to still be an array column (``raw_reads``
 only need to exist).
+
+Declared access sets
+--------------------
+``writes`` declares the properties a spec's superstep may modify: for an
+``EdgeMapSpec`` it defaults to ``(prop,)`` (the reduced property is the
+only thing edge kernels write); a ``VertexMapSpec``'s ``map`` should
+declare the keys of the columns it returns.  Together with ``reads`` /
+``raw_reads`` these form the spec's *declared access set*, which the
+engine cross-checks against the static analyzer's access sets for the
+interpreted callables (:mod:`repro.analysis.staticpass.speccheck`) —
+a spec whose declaration misses an access the callables perform earns
+an engine diagnostic.  ``declared_access()`` exposes the normalized
+sets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 
 class _NotSet:
@@ -79,6 +92,17 @@ class EdgeMapSpec:
     reads: Tuple[str, ...] = ()
     raw_reads: Tuple[str, ...] = ()
     uses_weights: bool = False
+    #: Properties this superstep may write; empty means "just ``prop``"
+    #: (the reduced property is all an edge kernel ever writes).
+    writes: Tuple[str, ...] = ()
+
+    def declared_access(self) -> Dict[str, Tuple[str, ...]]:
+        """The normalized declared access sets (reads include the
+        reduced property — the kernels read it for improve filters,
+        unvisited conditions and the reduce itself)."""
+        writes = self.writes or (self.prop,)
+        reads = tuple(dict.fromkeys(self.reads + self.raw_reads + (self.prop,)))
+        return {"reads": reads, "writes": writes}
 
     def __post_init__(self) -> None:
         if self.kind not in ("reduce", "gather"):
@@ -99,3 +123,11 @@ class VertexMapSpec:
     filter: Optional[Callable] = None  # callable(vertex_view) -> bool mask
     reads: Tuple[str, ...] = ()
     raw_reads: Tuple[str, ...] = ()
+    #: Properties ``map`` may write (the keys of the columns it
+    #: returns); empty on legacy specs, which skips the analyzer
+    #: cross-check.
+    writes: Tuple[str, ...] = ()
+
+    def declared_access(self) -> Dict[str, Tuple[str, ...]]:
+        reads = tuple(dict.fromkeys(self.reads + self.raw_reads))
+        return {"reads": reads, "writes": self.writes}

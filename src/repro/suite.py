@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro import algorithms as A
 from repro.baselines.registry import SUITES
+from repro.core.analysis import use_analysis
 from repro.core.engine import FlashEngine
 from repro.errors import InexpressibleError, ReproError
 from repro.graph.graph import Graph
@@ -138,6 +139,7 @@ def run_app(
     graph: Graph,
     num_workers: int = 4,
     backend: Optional[str] = None,
+    analysis: Optional[str] = None,
     faults: Optional[Union[FaultPlan, str]] = None,
     checkpoint_policy: Optional[Callable[[], CheckpointPolicy]] = None,
     checkpoint_store: Optional[Callable[[], CheckpointStore]] = None,
@@ -149,6 +151,11 @@ def run_app(
     ``backend`` selects the FLASH execution backend (``interp`` /
     ``vectorized`` / ``auto``); ``None`` keeps the ambient default.
     Baselines always interpret.
+
+    ``analysis`` selects the FLASH critical-property analysis mode
+    (``static`` / ``trace`` / ``check`` / ``off``, see
+    :func:`repro.core.analysis.use_analysis`); ``None`` keeps the
+    ambient default.  FLASH only — baselines have no sync analysis.
 
     ``tracer`` installs a :class:`~repro.runtime.tracing.Tracer` for the
     duration of the run (ambiently, so nested engines inherit it);
@@ -178,7 +185,10 @@ def run_app(
         with use_tracer(tracer):
             if framework == "flash":
                 context = use_backend(backend) if backend is not None else nullcontext()
-                with context:
+                analysis_ctx = (
+                    use_analysis(analysis) if analysis is not None else nullcontext()
+                )
+                with context, analysis_ctx:
                     if fault_tolerant:
                         report = _run_flash_with_recovery(
                             app, graph, num_workers, faults,

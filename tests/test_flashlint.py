@@ -1,0 +1,308 @@
+"""flashlint rule tests — at least one positive and one negative case
+per rule — plus the ``repro lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro import FlashEngine, Graph
+from repro.analysis.staticpass import (
+    KernelReport,
+    ProgramCapture,
+    RULES,
+    analyze_kernel,
+    lint_app,
+    lint_capture,
+    summarize,
+)
+
+
+def _capture(entries, declared=frozenset(), initialized=frozenset()):
+    """Build a ProgramCapture from (kind, label, classification) tuples,
+    all attributed to one engine with the given property environment."""
+    capture = ProgramCapture()
+    for kind, label, classification in entries:
+        capture.add(KernelReport(
+            kind=kind,
+            label=label,
+            engine_id=1,
+            classification=classification,
+            declared=set(declared),
+            initialized=set(initialized),
+        ))
+    return capture
+
+
+def _rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def _engine():
+    eng = FlashEngine(Graph.from_edges([(0, 1), (1, 2)]), num_workers=2)
+    eng.add_property("a", 0)
+    return eng
+
+
+class TestWriteToSource:
+    def test_source_write_fires(self):
+        def m(s, d):
+            s.a = 1
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=m)
+        capture = _capture([("edge_map_sparse", "k", res)], declared={"a"})
+        findings = lint_capture(capture)
+        hits = [f for f in findings if f.rule == "write-to-source"]
+        assert hits and hits[0].severity == "error"
+
+    def test_get_view_write_fires(self):
+        eng = _engine()
+
+        def m(v):
+            eng.get(0).a = 1
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        capture = _capture([("vertex_map", "k", res)], declared={"a"})
+        assert "write-to-source" in _rules_of(lint_capture(capture))
+
+    def test_target_write_does_not_fire(self):
+        def m(s, d):
+            d.x = s.a
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=m)
+        capture = _capture(
+            [("edge_map_sparse", "k", res)], declared={"a", "x"}, initialized={"a", "x"}
+        )
+        assert "write-to-source" not in _rules_of(lint_capture(capture))
+
+
+class TestUnguardedTargetWrite:
+    def test_write_in_filter_fires(self):
+        def f(s, d):
+            d.visited = True
+            return True
+
+        res = analyze_kernel("edge_map_sparse", F=f)
+        capture = _capture(
+            [("edge_map_sparse", "k", res)], declared={"visited"}, initialized={"visited"}
+        )
+        hits = [f_ for f_ in lint_capture(capture) if f_.rule == "unguarded-target-write"]
+        assert hits and hits[0].severity == "warning"
+
+    def test_write_in_map_does_not_fire(self):
+        def m(s, d):
+            d.visited = True
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=m)
+        capture = _capture(
+            [("edge_map_sparse", "k", res)], declared={"visited"}, initialized={"visited"}
+        )
+        assert "unguarded-target-write" not in _rules_of(lint_capture(capture))
+
+
+class TestReadNeverWritten:
+    def test_undeclared_read_is_error(self):
+        def m(v):
+            v.x = v.tpyo
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        capture = _capture([("vertex_map", "k", res)], declared={"x"})
+        hits = [f for f in lint_capture(capture) if f.rule == "read-never-written"]
+        assert hits and hits[0].severity == "error"
+        assert "tpyo" in hits[0].message
+
+    def test_declared_unwritten_uninitialized_is_warning(self):
+        def m(v):
+            v.x = v.ghost
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        capture = _capture([("vertex_map", "k", res)], declared={"x", "ghost"})
+        hits = [f for f in lint_capture(capture) if f.rule == "read-never-written"]
+        assert hits and hits[0].severity == "warning"
+
+    def test_initialized_or_written_reads_are_clean(self):
+        def init(v):
+            v.x = 1
+            return v
+
+        def m(v):
+            v.y = v.x + v.w
+            return v
+
+        entries = [
+            ("vertex_map", "init", analyze_kernel("vertex_map", M=init)),
+            ("vertex_map", "use", analyze_kernel("vertex_map", M=m)),
+        ]
+        capture = _capture(entries, declared={"x", "y", "w"}, initialized={"w"})
+        assert "read-never-written" not in _rules_of(lint_capture(capture))
+
+    def test_incomplete_program_stays_silent(self):
+        ns = {}
+        exec("def f(v):\n    return v.mystery", ns)
+        res = analyze_kernel("vertex_map", M=ns["f"])
+        capture = _capture([("vertex_map", "k", res)], declared=set())
+        assert "read-never-written" not in _rules_of(lint_capture(capture))
+
+
+class TestNoncommutativeReduce:
+    def test_subtraction_reduce_fires(self):
+        def r(t, d):
+            d.x = t.x - d.x
+            return d
+
+        res = analyze_kernel("edge_map_sparse", R=r)
+        capture = _capture(
+            [("edge_map_sparse", "k", res)], declared={"x"}, initialized={"x"}
+        )
+        assert "noncommutative-reduce" in _rules_of(lint_capture(capture))
+
+    def test_first_temp_projection_fires(self):
+        res = analyze_kernel("edge_map_sparse", R=lambda t, d: t)
+        capture = _capture([("edge_map_sparse", "k", res)])
+        assert "noncommutative-reduce" in _rules_of(lint_capture(capture))
+
+    def test_min_reduce_does_not_fire(self):
+        def r(t, d):
+            d.x = min(t.x, d.x)
+            return d
+
+        res = analyze_kernel("edge_map_sparse", R=r)
+        capture = _capture(
+            [("edge_map_sparse", "k", res)], declared={"x"}, initialized={"x"}
+        )
+        assert "noncommutative-reduce" not in _rules_of(lint_capture(capture))
+
+
+class TestGlobalMutation:
+    def test_closure_append_fires(self):
+        acc = []
+
+        def m(v):
+            acc.append(v.a)
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        capture = _capture([("vertex_map", "k", res)], declared={"a"}, initialized={"a"})
+        hits = [f for f in lint_capture(capture) if f.rule == "global-mutation"]
+        assert hits and hits[0].severity == "error"
+        assert "acc" in hits[0].message
+
+    def test_bound_value_read_does_not_fire(self):
+        limit = 5
+
+        def m(v):
+            v.x = min(v.a, limit)
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        capture = _capture(
+            [("vertex_map", "k", res)], declared={"a", "x"}, initialized={"a", "x"}
+        )
+        assert "global-mutation" not in _rules_of(lint_capture(capture))
+
+
+class TestUnsyncedRead:
+    def test_unanalyzable_slot_fires(self):
+        ns = {}
+        exec("def f(s, d):\n    d.x = s.a\n    return d", ns)
+        res = analyze_kernel("edge_map_dense", M=ns["f"])
+        capture = _capture([("edge_map_dense", "k", res)])
+        hits = [f for f in lint_capture(capture) if f.rule == "unsynced-read"]
+        assert hits and hits[0].severity == "warning"
+
+    def test_complete_kernel_does_not_fire(self):
+        def m(s, d):
+            d.x = s.a
+            return d
+
+        res = analyze_kernel("edge_map_dense", M=m)
+        capture = _capture(
+            [("edge_map_dense", "k", res)], declared={"a", "x"}, initialized={"a", "x"}
+        )
+        assert "unsynced-read" not in _rules_of(lint_capture(capture))
+
+
+class TestLintOrdering:
+    def test_errors_sort_before_warnings(self):
+        def bad(s, d):
+            s.a = 1  # error
+            return d
+
+        res_err = analyze_kernel("edge_map_sparse", M=bad)
+        res_warn = analyze_kernel("edge_map_sparse", R=lambda t, d: t)
+        capture = _capture([
+            ("edge_map_sparse", "warn", res_warn),
+            ("edge_map_sparse", "err", res_err),
+        ], declared={"a"}, initialized={"a"})
+        findings = lint_capture(capture)
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities, key=lambda s: s != "error")
+
+    def test_summarize_counts(self):
+        def bad(s, d):
+            s.a = 1
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=bad)
+        capture = _capture([("edge_map_sparse", "k", res)], declared={"a"})
+        payload = summarize({"app": lint_capture(capture, app="app")})
+        assert payload["errors"] >= 1
+        assert payload["apps"] == ["app"]
+        assert set(payload["rules"]) == set(RULES)
+
+
+class TestShippedApps:
+    def test_lint_app_bfs_is_clean(self):
+        findings = lint_app("bfs")
+        assert findings == []
+
+    def test_lint_app_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            lint_app("nosuch")
+
+    def test_mm_projection_reduce_is_warning_only(self):
+        findings = lint_app("mm")
+        assert findings, "mm's first-writer-wins reduce should warn"
+        assert {f.severity for f in findings} == {"warning"}
+        assert {f.rule for f in findings} == {"noncommutative-reduce"}
+
+
+class TestLintCLI:
+    def test_lint_json_clean_app(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "bfs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["apps"] == ["bfs"]
+        assert payload["errors"] == 0
+
+    def test_lint_human_output(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "mm"]) == 0  # warnings do not fail the run
+        out = capsys.readouterr().out
+        assert "noncommutative-reduce" in out
+        assert "0 error(s)" in out
+
+    def test_lint_requires_apps_or_all(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint"]) == 2
+
+    def test_lint_unknown_app(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "nosuch"]) == 2
+
+    def test_lint_rules_catalog(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out

@@ -1,0 +1,397 @@
+"""Unit tests for the ahead-of-time static analyzer
+(:mod:`repro.analysis.staticpass`)."""
+
+import functools
+
+import pytest
+
+from repro import FlashEngine, Graph, bind
+from repro.algorithms.common import local_dict, local_list, local_set
+from repro.analysis.staticpass import (
+    analyze_kernel,
+    check_spec,
+    cross_check,
+    function_access,
+    kernel_access,
+)
+from repro.runtime.vectorized.specs import EdgeMapSpec, VertexMapSpec
+
+EDGE = ("source", "target")
+SELF = ("self",)
+
+
+def _engine():
+    eng = FlashEngine(Graph.from_edges([(0, 1), (1, 2)]), num_workers=2)
+    eng.add_property("a", 0)
+    return eng
+
+
+class TestFunctionAccess:
+    def test_reads_and_writes_with_roles(self):
+        def m(s, d):
+            d.x = s.a + 1
+            return d
+
+        fa = function_access(m, EDGE)
+        assert fa.reads == {("source", "a")}
+        assert fa.writes == {("target", "x")}
+        assert fa.complete
+
+    def test_union_over_all_branches(self):
+        def m(s, d):
+            if s.sel:
+                d.x = s.a
+            else:
+                d.x = s.b
+            return d
+
+        fa = function_access(m, EDGE)
+        assert fa.role_reads("source") == {"sel", "a", "b"}
+
+    def test_aug_assign_is_read_and_write(self):
+        def m(s, d):
+            d.acc += s.rank
+            return d
+
+        fa = function_access(m, EDGE)
+        assert ("target", "acc") in fa.reads
+        assert ("target", "acc") in fa.writes
+
+    def test_aliasing_keeps_role(self):
+        def m(s, d):
+            v = d
+            v.x = s.a
+            return d
+
+        fa = function_access(m, EDGE)
+        assert fa.writes == {("target", "x")}
+
+    def test_rebinding_drops_role(self):
+        def m(s, d):
+            v = d
+            v = 3
+            return v + s.a
+
+        fa = function_access(m, EDGE)
+        assert fa.writes == set()
+
+    def test_reserved_attributes_ignored(self):
+        def m(s, d):
+            d.x = s.id + s.deg + s.out_deg
+            return d
+
+        fa = function_access(m, EDGE)
+        assert fa.role_reads("source") == set()
+
+    def test_literal_getattr_setattr(self):
+        def m(s, d):
+            setattr(d, "x", getattr(s, "a"))
+            return d
+
+        fa = function_access(m, EDGE)
+        assert fa.reads == {("source", "a")}
+        assert fa.writes == {("target", "x")}
+
+    def test_dynamic_getattr_degrades_to_unknown(self):
+        def m(s, d, name):
+            d.x = getattr(s, name)
+            return d
+
+        fa = function_access(m, EDGE)
+        assert "source" in fa.unknown_roles
+        assert not fa.complete
+
+    def test_local_helpers_read_and_write(self):
+        def m(s, d):
+            local_list(d, "inbox").append(s.c)
+            local_set(d, "seen").add(s.c)
+            local_dict(d, "hist")[0] = 1
+            return d
+
+        fa = function_access(m, EDGE)
+        for prop in ("inbox", "seen", "hist"):
+            assert ("target", prop) in fa.reads
+            assert ("target", prop) in fa.writes
+        assert fa.complete
+
+    def test_lambda_body_is_analyzed(self):
+        fa = function_access(lambda s, d: s.a + d.b, EDGE)
+        assert fa.reads == {("source", "a"), ("target", "b")}
+
+    def test_lambda_returning_param_detected(self):
+        fa = function_access(lambda t, d: t, ("target", "target"))
+        assert fa.returns_param == 0
+
+    def test_ambiguous_lambdas_degrade_soundly(self):
+        pair = (lambda v: v.a, lambda v: v.b)  # same line, same arity
+        fa = function_access(pair[0], SELF)
+        assert fa.unanalyzable
+        assert not fa.complete
+
+    def test_exec_function_is_unanalyzable(self):
+        ns = {}
+        exec("def f(v):\n    v.x = 1\n    return v", ns)
+        fa = function_access(ns["f"], SELF)
+        assert fa.unanalyzable
+        assert fa.unknown_roles == {"self"}
+
+
+class TestBindAndInterprocedural:
+    def test_bind_trailing_values_are_not_roles(self):
+        def init(v, r):
+            v.dis = 0 if v.id == r else -1
+            return v
+
+        fa = function_access(bind(init, 3), SELF)
+        assert fa.writes == {("self", "dis")}
+        assert fa.complete
+
+    def test_partial_leading_values_shift_roles(self):
+        def m(cfg, s, d):
+            d.x = s.a * cfg
+            return d
+
+        fa = function_access(functools.partial(m, 2), EDGE)
+        assert fa.reads == {("source", "a")}
+        assert fa.writes == {("target", "x")}
+
+    def test_bound_engine_get_is_remote_read(self):
+        eng = _engine()
+
+        def m(v, e):
+            return e.get(0).a
+
+        fa = function_access(bind(m, eng), SELF)
+        assert fa.remote_reads == {"a"}
+        assert fa.complete
+
+    def test_closure_engine_get_is_remote_read(self):
+        eng = _engine()
+
+        def m(v):
+            view = eng.get(1)
+            return view.a + v.b
+
+        fa = function_access(m, SELF)
+        assert fa.remote_reads == {"a"}
+        assert fa.reads == {("self", "b")}
+
+    def test_write_through_get_view_recorded(self):
+        eng = _engine()
+
+        def m(v):
+            view = eng.get(0)
+            view.a = 1
+            return v
+
+        fa = function_access(m, SELF)
+        assert fa.remote_writes == {"a"}
+
+    def test_interprocedural_role_propagation(self):
+        def helper(s, d):
+            d.x = s.a
+            return d
+
+        def m(s, d):
+            return helper(s, d)
+
+        fa = function_access(m, EDGE)
+        assert fa.reads == {("source", "a")}
+        assert fa.writes == {("target", "x")}
+
+    def test_recursive_helper_terminates(self):
+        def walk(v, n):
+            if n <= 0:
+                return v.a
+            return walk(v, n - 1) + v.b
+
+        def m(v):
+            return walk(v, 3)
+
+        fa = function_access(m, SELF)
+        assert fa.role_reads("self") == {"a", "b"}
+        assert fa.complete
+
+    def test_unresolvable_callee_makes_role_unknown(self):
+        table = {}
+
+        def m(s, d):
+            table.get("k", lambda x: 0)(s)
+            return d
+
+        fa = function_access(m, EDGE)
+        assert "source" in fa.unknown_roles
+
+    def test_mutated_closure_collection_detected(self):
+        acc = []
+
+        def m(v):
+            acc.append(v.a)
+            return v
+
+        fa = function_access(m, SELF)
+        assert fa.mutated_globals == {"acc"}
+
+    def test_global_statement_detected(self):
+        def m(v):
+            global _COUNTER  # noqa: PLW0603 - deliberately bad style
+            _COUNTER = v.a
+            return v
+
+        fa = function_access(m, SELF)
+        assert "_COUNTER" in fa.mutated_globals
+
+    def test_noncommutative_reduce_write(self):
+        def r(t, d):
+            d.x = t.x - d.x
+            return d
+
+        fa = function_access(r, ("target", "target"))
+        assert fa.noncomm_writes == {"x"}
+
+    def test_commutative_reduce_not_flagged(self):
+        def r(t, d):
+            d.x = min(t.x, d.x)
+            return d
+
+        fa = function_access(r, ("target", "target"))
+        assert fa.noncomm_writes == set()
+
+
+class TestKernelClassification:
+    def test_dense_source_reads_critical(self):
+        def m(s, d):
+            d.x = s.a
+            return d
+
+        res = analyze_kernel("edge_map_dense", M=m)
+        assert res.critical == {"a"}
+        assert res.seen == {"a", "x"}
+        assert res.complete
+
+    def test_sparse_target_accesses_critical(self):
+        def m(s, d):
+            d.x = s.a + d.y
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=m)
+        assert res.critical == {"x", "y"}
+
+    def test_vertex_map_never_critical(self):
+        def m(v):
+            v.x = v.a
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        assert res.critical == set()
+        assert res.seen == {"a", "x"}
+
+    def test_remote_reads_critical_in_every_kind(self):
+        eng = _engine()
+
+        def m(v):
+            return eng.get(0).a
+
+        for kind in ("vertex_map", "edge_map_dense", "edge_map_sparse"):
+            res = analyze_kernel(kind, M=m if kind == "vertex_map" else None,
+                                 F=None if kind == "vertex_map" else None,
+                                 C=m if kind != "vertex_map" else None)
+            assert "a" in res.critical, kind
+
+    def test_condition_slot_is_target_role(self):
+        def c(v):
+            return v.visited
+
+        res = analyze_kernel("edge_map_sparse", C=c)
+        assert res.critical == {"visited"}
+        res_dense = analyze_kernel("edge_map_dense", C=c)
+        assert res_dense.critical == set()
+
+    def test_incomplete_kernel_reported(self):
+        ns = {}
+        exec("def f(s, d):\n    d.x = 1\n    return d", ns)
+        res = analyze_kernel("edge_map_sparse", M=ns["f"])
+        assert not res.complete
+
+    def test_kernel_access_slots(self):
+        def f(s, d):
+            return s.a > 0
+
+        def m(s, d):
+            d.x = s.a
+            return d
+
+        ka = kernel_access("edge_map_dense", F=f, M=m)
+        assert ka.slots["F"].reads == {("source", "a")}
+        assert ka.slots["R"] is None
+        assert ka.reads == {("source", "a")}
+        assert ka.writes == {("target", "x")}
+
+
+class TestCrossCheckAndSpecs:
+    def test_cross_check_agrees_on_superset(self):
+        def m(s, d):
+            if s.sel:
+                d.x = s.a
+            return d
+
+        res = analyze_kernel("edge_map_dense", M=m)
+        assert cross_check(res, {"a"}, {"a", "x"}) is None
+
+    def test_cross_check_flags_traced_extra(self):
+        def m(s, d):
+            d.x = s.a
+            return d
+
+        res = analyze_kernel("edge_map_dense", M=m)
+        message = cross_check(res, {"a", "ghost"}, {"a", "x", "ghost"})
+        assert message is not None and "ghost" in message
+
+    def test_spec_underdeclared_write_reported(self):
+        def m(v):
+            v.x = 1
+            v.y = 2
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        spec = VertexMapSpec(map=lambda k: {"x": 1, "y": 2}, writes=("x",))
+        messages = check_spec("vertex_map", spec, res)
+        assert any("y" in msg for msg in messages)
+
+    def test_spec_fully_declared_is_clean(self):
+        def m(v):
+            v.x = v.a
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        spec = VertexMapSpec(
+            map=lambda k: {"x": k.p("a")}, reads=("a",), writes=("x",)
+        )
+        assert check_spec("vertex_map", spec, res) == []
+
+    def test_legacy_vertex_spec_skipped(self):
+        def m(v):
+            v.x = 1
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        assert check_spec("vertex_map", VertexMapSpec(map=lambda k: {"x": 1}), res) == []
+
+    def test_edge_spec_prop_is_implicit_write(self):
+        def m(s, d):
+            d.dis = s.dis + 1
+            return d
+
+        res = analyze_kernel("edge_map_sparse", M=m)
+        spec = EdgeMapSpec(prop="dis", reduce="min", value=1.0, reads=("dis",))
+        assert check_spec("edge_map_sparse", spec, res) == []
+
+    def test_overdeclared_spec_is_harmless(self):
+        def m(v):
+            v.x = 1
+            return v
+
+        res = analyze_kernel("vertex_map", M=m)
+        spec = VertexMapSpec(map=lambda k: {"x": 1}, reads=("a", "b"),
+                             writes=("x", "extra"))
+        assert check_spec("vertex_map", spec, res) == []
