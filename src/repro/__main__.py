@@ -7,6 +7,8 @@ Usage::
     python -m repro run bfs OR --trace out.jsonl   # ... with structured tracing
     python -m repro trace summarize out.jsonl  # per-primitive cost table
     python -m repro compare mis OR             # all 5 frameworks, one app
+    python -m repro run cc OR --executor mp    # real multiprocess workers
+    python -m repro partition-stats OR         # hash vs range vs degree cuts
     python -m repro lloc                       # Table I (measured vs paper)
     python -m repro lint --all                 # flashlint over every app
     python -m repro lint bfs cc --json         # ... selected apps, JSON out
@@ -92,13 +94,25 @@ def _make_tracer(args) -> Tracer:
     return Tracer(JsonlSink(args.trace))
 
 
+def _print_distributed(extra: dict) -> None:
+    dist = extra.get("distributed")
+    if not dist:
+        return
+    print(f"  distributed: {dist['workers']} worker process(es), "
+          f"{dist['sync_entries']} real sync + {dist['extra_entries']} extra "
+          f"+ {dist['commit_entries']} commit entries, "
+          f"{dist['reduce_entries']} reduce entries, "
+          f"{dist['bytes_sent']}B sent / {dist['bytes_recv']}B recv")
+
+
 def cmd_run(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
     tracer = _make_tracer(args) if args.trace else None
     try:
         run = run_app(
             "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
-            analysis=args.analysis, tracer=tracer, **_fault_kwargs(args),
+            analysis=args.analysis, tracer=tracer, executor=args.executor,
+            **_fault_kwargs(args),
         )
     finally:
         if tracer is not None:
@@ -111,6 +125,7 @@ def cmd_run(args) -> int:
           f"{run.metrics.backend_choices or {'interp': run.metrics.num_supersteps}})")
     print(f"  EDGEMAP mode choices: {run.metrics.mode_choices}")
     print(f"  simulated time on {args.workers}x32 cores: {cost.total * 1e3:.3f} ms")
+    _print_distributed(run.extra)
     _print_recovery(run.extra, cost)
     if run.extra:
         preview = {k: v for k, v in run.extra.items() if not isinstance(v, (dict, list))}
@@ -148,7 +163,9 @@ def cmd_compare(args) -> int:
         analysis = args.analysis if framework == "flash" else None
         # Faults strike flash only — baselines have no recovery layer, so
         # they run fault-free for reference.
-        kwargs = fault_kwargs if framework == "flash" else {}
+        kwargs = dict(fault_kwargs) if framework == "flash" else {}
+        if framework == "flash":
+            kwargs["executor"] = args.executor
         run = run_app(framework, args.app, graph, num_workers=workers,
                       backend=backend, analysis=analysis, **kwargs)
         if run is None:
@@ -156,6 +173,8 @@ def cmd_compare(args) -> int:
             continue
         cluster = ClusterSpec(nodes=workers, cores_per_node=32)
         name = f"flash[{args.backend}]" if framework == "flash" else framework
+        if framework == "flash" and args.executor != "inline":
+            name = f"flash[{args.executor}]"
         cost = run.cost(cluster, model)
         if framework == "flash":
             flash_modes = run.metrics.mode_choices
@@ -177,6 +196,46 @@ def cmd_compare(args) -> int:
         extra, cost = flash_recovery
         print("flash fault tolerance:")
         _print_recovery(extra, cost)
+    return 0
+
+
+def cmd_partition_stats(args) -> int:
+    from repro.graph.partition import PARTITION_STRATEGIES, compare_partitioners
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    for s in strategies:
+        if s not in PARTITION_STRATEGIES and s != "range":
+            print(f"partition-stats: unknown strategy {s!r}; expected any of: "
+                  f"{', '.join(PARTITION_STRATEGIES)} (or alias 'range')",
+                  file=sys.stderr)
+            return 2
+    qualities = compare_partitioners(graph, args.workers, strategies)
+    if args.json:
+        print(json.dumps([q.as_dict() for q in qualities], indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            q.strategy,
+            q.cut_arcs,
+            f"{q.cut_ratio:.1%}",
+            f"{q.replication_factor:.2f}",
+            q.mirror_count,
+            f"{q.vertex_balance:.2f}",
+            f"{q.edge_balance:.2f}",
+        ]
+        for q in qualities
+    ]
+    print(format_table(
+        ["strategy", "cut arcs", "cut ratio", "repl. factor",
+         "mirrors", "vtx balance", "edge balance"],
+        rows,
+        title=f"partition quality on {args.dataset} ({graph}) over "
+              f"{args.workers} workers",
+    ))
+    best = min(qualities, key=lambda q: q.cut_arcs)
+    print(f"fewest cut arcs: {best.strategy} "
+          f"({best.cut_arcs} cut, replication factor {best.replication_factor:.2f})")
     return 0
 
 
@@ -251,6 +310,14 @@ def main(argv=None) -> int:
             help="FLASH execution backend (vectorized = NumPy columnar kernels)",
         )
         p.add_argument(
+            "--executor",
+            choices=["inline", "mp"],
+            default="inline",
+            help="FLASH execution substrate: inline (single-process "
+                 "simulation) or mp (one real worker process per worker, "
+                 "with actual mirror-synchronization traffic)",
+        )
+        p.add_argument(
             "--analysis",
             choices=list(ANALYSIS_MODES),
             default=None,
@@ -299,6 +366,21 @@ def main(argv=None) -> int:
              "trace_event JSON)",
     )
 
+    p = sub.add_parser(
+        "partition-stats",
+        help="compare partitioning strategies (cut arcs, replication, balance)",
+    )
+    p.add_argument("dataset", choices=list(DATASETS))
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--strategies",
+        default="hash,range,degree",
+        help="comma-separated strategies to compare (hash, range/chunk, degree)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (one record per strategy)")
+
     sub.add_parser("lloc", help="Table I LLoC matrix")
 
     p = sub.add_parser(
@@ -323,7 +405,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-            "lloc": cmd_lloc, "trace": cmd_trace, "lint": cmd_lint}[args.command](args)
+            "lloc": cmd_lloc, "trace": cmd_trace, "lint": cmd_lint,
+            "partition-stats": cmd_partition_stats}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -111,19 +111,53 @@ class FlashEngine:
         tracer: Optional[Tracer] = None,
         analysis: Optional[str] = None,
         remote_promotion: Optional[bool] = None,
+        cluster: Optional[ClusterSpec] = None,
+        executor: str = "inline",
     ):
         self.graph = graph
+        if cluster is not None:
+            num_workers = cluster.num_workers
+        if executor not in ("inline", "mp"):
+            raise FlashUsageError(
+                f"unknown executor {executor!r}: expected 'inline' (simulated "
+                f"single-process run) or 'mp' (real multi-process execution)"
+            )
+        if executor == "mp":
+            if num_workers < 2:
+                raise FlashUsageError(
+                    "executor='mp' needs at least 2 workers: a ClusterSpec with "
+                    "nodes=1 (or num_workers=1) has no partitions to distribute "
+                    "over — use executor='inline' for single-process runs"
+                )
+            if backend is not None and backend != "interp":
+                raise FlashUsageError(
+                    "executor='mp' runs the interpreted kernels on the worker "
+                    "processes; backend must be 'interp' (or omitted)"
+                )
+            backend = "interp"
+        self.executor = executor
         if backend is None:
             backend = default_backend()
         self.backend = validate_backend(backend)
         self._vectorize = backend in ("vectorized", "auto")
-        self.flashware = Flashware(
-            graph,
-            num_workers,
-            options=options,
-            partition_strategy=partition_strategy,
-            typed_state=self._vectorize,
-        )
+        if executor == "mp":
+            from repro.runtime.distributed.executor import DistributedFlashware
+
+            self.flashware: Flashware = DistributedFlashware(
+                graph,
+                num_workers,
+                options=options,
+                partition_strategy=partition_strategy,
+            )
+        else:
+            self.flashware = Flashware(
+                graph,
+                num_workers,
+                options=options,
+                partition_strategy=partition_strategy,
+                typed_state=self._vectorize,
+            )
+        self._dist = getattr(self.flashware, "session", None)
         # An explicit tracer overrides the ambient one the Flashware
         # picked up (see repro.runtime.tracing.use_tracer).
         if tracer is not None:
@@ -296,6 +330,14 @@ class FlashEngine:
                 raise
         self.metrics.note_backend("interp")
         fw.annotate_span(backend="interp")
+        if self._dist is not None:
+            try:
+                d_out, d_updates = self._dist.run_vertex_map(self, subset, F, M)
+            except Exception:
+                fw.abort_superstep()
+                raise
+            fw.barrier(d_updates, None, broadcast_all=False, frontier_out=len(d_out))
+            return VertexSubset(self, d_out)
         out: List[int] = []
         updates: Dict[int, Dict[str, Any]] = {}
         try:
@@ -408,6 +450,21 @@ class FlashEngine:
                 raise
         self.metrics.note_backend("interp")
         fw.annotate_span(backend="interp")
+        if self._dist is not None:
+            try:
+                d_out, d_updates = self._dist.run_edge_map_dense(
+                    self, subset, edges, F, M, C
+                )
+            except Exception:
+                fw.abort_superstep()
+                raise
+            fw.barrier(
+                d_updates,
+                None,
+                broadcast_all=not edges.within_graph,
+                frontier_out=len(d_out),
+            )
+            return VertexSubset(self, d_out)
 
         candidates = edges.candidate_targets(self)
         if candidates is None:
@@ -508,6 +565,21 @@ class FlashEngine:
                 raise
         self.metrics.note_backend("interp")
         fw.annotate_span(backend="interp")
+        if self._dist is not None:
+            try:
+                d_out, d_updates, d_contrib = self._dist.run_edge_map_sparse(
+                    self, subset, edges, F, M, C, R
+                )
+            except Exception:
+                fw.abort_superstep()
+                raise
+            fw.barrier(
+                d_updates,
+                d_contrib,
+                broadcast_all=not edges.within_graph,
+                frontier_out=len(d_out),
+            )
+            return VertexSubset(self, d_out)
 
         temps: Dict[int, List[Tuple[Dict[str, Any], int]]] = {}
         out: Set[int] = set()
@@ -603,6 +675,23 @@ class FlashEngine:
 
     def reset_metrics(self) -> None:
         self.flashware.metrics.reset()
+
+    def dist_summary(self) -> Dict[str, Any]:
+        """Real-traffic totals of the multi-process executor (empty dict
+        on the inline executor, where no physical messages exist)."""
+        summarize = getattr(self.flashware, "dist_summary", None)
+        return summarize() if summarize is not None else {}
+
+    def close(self) -> None:
+        """Release executor resources (worker-session teardown for
+        ``executor='mp'``; a no-op inline).  The engine stays readable
+        (values/metrics) but cannot run further supersteps in mp mode."""
+        if self._dist is not None:
+            self._dist.close()
+            self._dist = None
+            closer = getattr(self.flashware, "close", None)
+            if closer is not None:
+                closer()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -20,3 +20,29 @@ class InexpressibleError(ReproError):
 
 class PartitionError(ReproError):
     """Invalid partitioning or ownership request."""
+
+
+class DistributedError(ReproError):
+    """Base class for errors of the multi-process distributed executor
+    (:mod:`repro.runtime.distributed`)."""
+
+
+class DistributedShipError(DistributedError):
+    """A user function cannot be shipped to worker processes — e.g. it
+    writes to a closure variable (``nonlocal``), which would mutate
+    driver-local state invisibly to the driver process.  Rewrite the
+    kernel to communicate through vertex properties instead."""
+
+
+class StaleReadError(DistributedError):
+    """A worker read a property of a vertex it does not master whose
+    mirror copy may be stale (the property is not *critical*, so committed
+    changes were never synchronized to this worker).  This only happens
+    when the critical-property analysis is off or incomplete; run with
+    ``analysis="static"`` (the default) or mark the property critical."""
+
+
+class WorkerCrashError(DistributedError):
+    """A worker process died or stopped responding (this is a real
+    process failure, unlike the *simulated* failures of
+    :mod:`repro.runtime.faults`)."""

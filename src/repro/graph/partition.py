@@ -10,7 +10,8 @@ according to this map.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 import numpy as np
 
@@ -131,22 +132,20 @@ class PartitionMap:
         )
 
 
-def partition_graph(graph: Graph, num_partitions: int, strategy: str = "hash") -> PartitionMap:
-    """Partition a graph's vertices over ``num_partitions`` workers.
+#: Strategy aliases accepted everywhere a strategy name is taken.
+_STRATEGY_ALIASES = {"range": "chunk"}
 
-    Strategies
-    ----------
-    ``hash``
-        Vertex ``v`` goes to ``v mod m`` — the scheme used by most
-        Pregel-like systems, balanced in vertex count.
-    ``chunk``
-        Contiguous id ranges — mimics locality-preserving partitioners
-        (fewer cut edges on id-localized graphs such as road networks).
-    ``degree``
-        Greedy balance on out-degree: each vertex (in decreasing degree
-        order) goes to the currently lightest partition.
-    """
+#: Canonical strategy names, for CLIs and error messages.
+PARTITION_STRATEGIES = ("hash", "chunk", "degree")
+
+
+def partition_owners(graph: Graph, num_partitions: int, strategy: str = "hash") -> np.ndarray:
+    """The owner-partition id per vertex for one strategy — the
+    deterministic core of :func:`partition_graph`, shared with the
+    distributed worker processes (which recompute ownership locally
+    instead of shipping the full :class:`PartitionMap`)."""
     n = graph.num_vertices
+    strategy = _STRATEGY_ALIASES.get(strategy, strategy)
     if strategy == "hash":
         owner = np.arange(n, dtype=np.int64) % num_partitions
     elif strategy == "chunk":
@@ -162,4 +161,86 @@ def partition_graph(graph: Graph, num_partitions: int, strategy: str = "hash") -
             load[p] += int(degs[v]) + 1
     else:
         raise ValueError(f"unknown partition strategy {strategy!r}")
+    return owner
+
+
+def partition_graph(graph: Graph, num_partitions: int, strategy: str = "hash") -> PartitionMap:
+    """Partition a graph's vertices over ``num_partitions`` workers.
+
+    Strategies
+    ----------
+    ``hash``
+        Vertex ``v`` goes to ``v mod m`` — the scheme used by most
+        Pregel-like systems, balanced in vertex count.
+    ``chunk`` (alias ``range``)
+        Contiguous id ranges — mimics locality-preserving partitioners
+        (fewer cut edges on id-localized graphs such as road networks).
+    ``degree``
+        Greedy balance on out-degree: each vertex (in decreasing degree
+        order) goes to the currently lightest partition.
+    """
+    owner = partition_owners(graph, num_partitions, strategy)
     return PartitionMap(graph, owner, num_partitions)
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Quality measures of one partitioning (the quantities that decide
+    distributed performance: cut traffic, replication, load balance)."""
+
+    strategy: str
+    num_partitions: int
+    cut_arcs: int
+    cut_ratio: float  #: cut arcs / total arcs
+    replication_factor: float  #: avg replicas (master + necessary mirrors)
+    mirror_count: int  #: total necessary-mirror entries across vertices
+    vertex_balance: float  #: max partition size / ideal size (1.0 = perfect)
+    edge_balance: float  #: max partition edge load / ideal load
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "num_partitions": self.num_partitions,
+            "cut_arcs": self.cut_arcs,
+            "cut_ratio": self.cut_ratio,
+            "replication_factor": self.replication_factor,
+            "mirror_count": self.mirror_count,
+            "vertex_balance": self.vertex_balance,
+            "edge_balance": self.edge_balance,
+        }
+
+
+def partition_quality(pm: PartitionMap, strategy: str = "") -> PartitionQuality:
+    """Measure one :class:`PartitionMap` (see :class:`PartitionQuality`)."""
+    g = pm.graph
+    num_arcs = g.num_arcs
+    cut = pm.cut_arcs()
+    sizes = pm.partition_sizes()
+    loads = pm.edge_load()
+    m = pm.num_partitions
+    ideal_size = g.num_vertices / m if m else 0.0
+    ideal_load = sum(loads) / m if m else 0.0
+    return PartitionQuality(
+        strategy=strategy,
+        num_partitions=m,
+        cut_arcs=cut,
+        cut_ratio=cut / num_arcs if num_arcs else 0.0,
+        replication_factor=pm.replication_factor(),
+        mirror_count=int(pm.neighbor_mirror_counts().sum()),
+        vertex_balance=max(sizes) / ideal_size if ideal_size else 1.0,
+        edge_balance=max(loads) / ideal_load if ideal_load else 1.0,
+    )
+
+
+def compare_partitioners(
+    graph: Graph,
+    num_partitions: int,
+    strategies: Iterable[str] = ("hash", "range", "degree"),
+) -> List[PartitionQuality]:
+    """Partition ``graph`` with each strategy and measure the result —
+    the hash- vs range-partitioner comparison behind
+    ``repro partition-stats``."""
+    return [
+        partition_quality(partition_graph(graph, num_partitions, s), strategy=s)
+        for s in strategies
+    ]

@@ -1,0 +1,21 @@
+"""Multi-process distributed executor (``FlashEngine(executor="mp")``).
+
+The simulated runtime charges what a distributed execution *would* cost;
+this package actually performs one: worker processes hold graph
+partitions (the graph itself shared via ``multiprocessing.shared_memory``),
+execute the kernel inner loops for the vertices they master, and receive
+real mirror-sync delta batches at every barrier.  See
+``docs/distributed.md``.
+
+Import cycles: :mod:`repro.core.engine` imports this package lazily; the
+submodules import engine/flashware lazily in turn.
+"""
+
+from repro.runtime.distributed.executor import (  # noqa: F401
+    DistSession,
+    DistributedFlashware,
+    NotifyingVertexState,
+    WorkerPool,
+    get_pool,
+    shutdown_pools,
+)

@@ -1,0 +1,745 @@
+"""Driver-side of the multi-process executor.
+
+Architecture (docs/distributed.md has the full picture):
+
+* the **driver** (parent process) runs the algorithm program, holds the
+  authoritative vertex state and executes ``Flashware.barrier()``
+  verbatim — so the *charged* (simulated) metrics of an ``executor="mp"``
+  run are identical to the inline run by construction;
+* a persistent :class:`WorkerPool` holds one OS process per partition;
+  the driver offloads each kernel's inner loop (the F/M/C/R user-function
+  evaluations over the vertices a worker masters) and merges the
+  replies;
+* after every barrier the committed changes are distributed as **delta
+  batches**: each changed vertex's critical properties go to every other
+  worker (charged for the necessary-mirror scope, the rest rides along to
+  serve beyond-neighborhood reads), and the owner gets the full change.
+  Real message/entry counts are attached to each
+  :class:`~repro.runtime.metrics.SuperstepRecord` as ``rec.dist`` so
+  tests can hold them against the simulated charges.
+
+The wire protocol is strict request/reply over one pipe per worker;
+the driver serializes every request itself (so it can count bytes and
+emit ``worker.send``/``worker.recv`` trace instants) and drains all
+outstanding replies before raising, keeping the pipes clean.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.edgeset import BaseEdges, EdgeSet
+from repro.errors import DistributedError, WorkerCrashError
+from repro.runtime.distributed import shipping
+from repro.runtime.flashware import Flashware
+from repro.runtime.metrics import SuperstepRecord
+from repro.runtime.state import VertexState
+
+
+def _reply_timeout() -> float:
+    return float(os.environ.get("REPRO_MP_TIMEOUT", "120"))
+
+
+class WorkerPool:
+    """A set of persistent worker processes plus their pipes.
+
+    Pools are shared across engines (see :func:`get_pool`): spawning a
+    process per engine would dominate runtime in test suites that build
+    hundreds of engines.  Sessions multiplex over the pool by id."""
+
+    def __init__(self, nworkers: int):
+        import multiprocessing as mp
+
+        self.nworkers = nworkers
+        method = os.environ.get("REPRO_MP_START", "spawn")
+        ctx = mp.get_context(method)
+        self._conns = []
+        self._procs = []
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        self.messages_sent = 0
+        self.messages_recv = 0
+        self._graphs: Dict[int, List[Any]] = {}  # id(graph) -> [token, graph, refs, shm]
+        self._next_token = itertools.count(1)
+        self._dead = False
+        from repro.runtime.distributed.worker import worker_main
+
+        for rank in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(rank, child_conn),
+                name=f"repro-worker-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self.broadcast("ping", -1, None)
+
+    # ------------------------------------------------------------------
+    def _send(self, rank: int, op: str, sid: int, payload: Any, tracer=None) -> None:
+        blob = pickle.dumps((op, sid, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._conns[rank].send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            self._dead = True
+            raise WorkerCrashError(f"worker {rank} pipe closed during {op!r}") from exc
+        self.bytes_sent += len(blob)
+        self.messages_sent += 1
+        if tracer is not None and tracer.enabled:
+            tracer.instant("worker.send", "distributed", rank=rank, op=op, bytes=len(blob))
+
+    def _recv(self, rank: int, op: str, tracer=None) -> Any:
+        conn = self._conns[rank]
+        if not conn.poll(_reply_timeout()):
+            self._dead = True
+            alive = self._procs[rank].is_alive()
+            raise WorkerCrashError(
+                f"worker {rank} {'stopped responding' if alive else 'died'} "
+                f"during {op!r} (timeout {_reply_timeout()}s)"
+            )
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._dead = True
+            raise WorkerCrashError(f"worker {rank} died during {op!r}") from exc
+        self.bytes_recv += len(blob)
+        self.messages_recv += 1
+        if tracer is not None and tracer.enabled:
+            tracer.instant("worker.recv", "distributed", rank=rank, op=op, bytes=len(blob))
+        reply = pickle.loads(blob)
+        if reply[0] == "ok":
+            return reply[1]
+        _status, name, exc_blob, tb = reply
+        if exc_blob is not None:
+            try:
+                raise pickle.loads(exc_blob)
+            except DistributedError:
+                raise
+            except Exception as exc:
+                if type(exc).__name__ == name:
+                    raise
+                # the exception itself failed to round-trip
+        raise DistributedError(f"worker {rank} raised {name} during {op!r}:\n{tb}")
+
+    def request_many(
+        self, items: Sequence[Tuple[int, str, int, Any]], tracer=None
+    ) -> List[Any]:
+        """Send all requests, then collect all replies (in order).  Every
+        reply is drained even when one raises, keeping the pipes clean."""
+        for rank, op, sid, payload in items:
+            self._send(rank, op, sid, payload, tracer)
+        replies: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for rank, op, _sid, _payload in items:
+            try:
+                replies.append(self._recv(rank, op, tracer))
+            except WorkerCrashError:
+                raise  # pipes are broken anyway, nothing left to drain
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                replies.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def broadcast(self, op: str, sid: int, payload: Any, tracer=None) -> List[Any]:
+        return self.request_many(
+            [(rank, op, sid, payload) for rank in range(self.nworkers)], tracer
+        )
+
+    # ------------------------------------------------------------------
+    def acquire_graph(self, graph) -> int:
+        """Ship a graph to every worker once; later acquires of the same
+        object just bump a refcount."""
+        entry = self._graphs.get(id(graph))
+        if entry is not None:
+            entry[2] += 1
+            return entry[0]
+        token = next(self._next_token)
+        meta, shm = shipping.export_graph(graph)
+        self.broadcast("put_graph", -1, (token, meta))
+        self._graphs[id(graph)] = [token, graph, 1, shm]
+        return token
+
+    def release_graph(self, graph) -> None:
+        entry = self._graphs.get(id(graph))
+        if entry is None:
+            return
+        entry[2] -= 1
+        if entry[2] > 0:
+            return
+        del self._graphs[id(graph)]
+        if not self._dead:
+            try:
+                self.broadcast("drop_graph", -1, entry[0])
+            except DistributedError:
+                pass
+        self._unlink(entry[3])
+
+    @staticmethod
+    def _unlink(shm) -> None:
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+    def shutdown(self) -> None:
+        for rank, conn in enumerate(self._conns):
+            try:
+                self._send(rank, "stop", -1, None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for entry in self._graphs.values():
+            self._unlink(entry[3])
+        self._graphs.clear()
+        self._dead = True
+
+
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(nworkers: int) -> WorkerPool:
+    """The shared pool with ``nworkers`` processes, started on demand."""
+    pool = _POOLS.get(nworkers)
+    if pool is None or pool._dead:
+        pool = WorkerPool(nworkers)
+        _POOLS[nworkers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Stop every pool (atexit hook; also handy for tests)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side session
+# ---------------------------------------------------------------------------
+_SIDS = itertools.count(1)
+
+
+class DistSession:
+    """One engine's connection to the pool: kernel offload, commit
+    distribution, and the real-traffic accounting."""
+
+    def __init__(self, pool: WorkerPool, fw: "DistributedFlashware", partition_strategy: str):
+        self.pool = pool
+        self.fw = fw
+        self.sid = next(_SIDS)
+        self.graph = fw.graph
+        self.nworkers = pool.nworkers
+        self.owners = fw.partition.owners()
+        self.members = [fw.partition.members(p).tolist() for p in range(self.nworkers)]
+        self.token = pool.acquire_graph(fw.graph)
+        pool.broadcast(
+            "open",
+            self.sid,
+            {
+                "graph_token": self.token,
+                "nworkers": self.nworkers,
+                "partition_strategy": partition_strategy,
+                "sync_critical_only": fw.options.sync_critical_only,
+            },
+        )
+        self.closed = False
+        #: Per-committed-superstep real-traffic log (mirrors metrics.records).
+        self.per_superstep: List[Dict[str, Any]] = []
+        self._step: Optional[Dict[str, int]] = None
+        self._step_cpu: List[float] = [0.0] * self.nworkers
+        self.totals: Dict[str, Any] = {
+            "sync_entries": 0,
+            "extra_entries": 0,
+            "commit_entries": 0,
+            "reduce_entries": 0,
+            "temp_entries": 0,
+            "bootstrap_columns": 0,
+            "worker_cpu_s": 0.0,
+            "critical_path_s": 0.0,
+        }
+
+    @property
+    def tracer(self):
+        return self.fw.tracer
+
+    def _request_many(self, items):
+        return self.pool.request_many(items, self.tracer)
+
+    def _broadcast(self, op: str, payload: Any):
+        return self.pool.broadcast(op, self.sid, payload, self.tracer)
+
+    # -- step accounting -------------------------------------------------
+    def begin_step(self) -> None:
+        self._step = {
+            "sync_entries": 0,
+            "extra_entries": 0,
+            "commit_entries": 0,
+            "reduce_entries": 0,
+            "temp_entries": 0,
+            "bytes_sent0": self.pool.bytes_sent,
+            "bytes_recv0": self.pool.bytes_recv,
+        }
+        self._step_cpu = [0.0] * self.nworkers
+
+    def step_add(self, key: str, n: int) -> None:
+        if self._step is not None:
+            self._step[key] += n
+
+    def _step_add_cpu(self, rank: int, cpu: Optional[float]) -> None:
+        if self._step is not None and cpu is not None:
+            self._step_cpu[rank] += cpu
+
+    def finish_step(self, rec: SuperstepRecord) -> None:
+        step = self._step
+        cpu = self._step_cpu
+        self._step = None
+        if step is None:
+            return
+        stats = {
+            "index": rec.index,
+            "kind": rec.kind,
+            "label": rec.label,
+            "sync_entries": step["sync_entries"],
+            "extra_entries": step["extra_entries"],
+            "commit_entries": step["commit_entries"],
+            "reduce_entries": step["reduce_entries"],
+            "temp_entries": step["temp_entries"],
+            "bytes_sent": self.pool.bytes_sent - step["bytes_sent0"],
+            "bytes_recv": self.pool.bytes_recv - step["bytes_recv0"],
+            "charged_sync_messages": rec.sync_messages,
+            "charged_reduce_messages": rec.reduce_messages,
+            "worker_cpu_s": [round(c, 6) for c in cpu],
+        }
+        rec.dist = stats
+        for key in ("sync_entries", "extra_entries", "commit_entries",
+                    "reduce_entries", "temp_entries"):
+            self.totals[key] += step[key]
+        self.totals["worker_cpu_s"] += sum(cpu)
+        self.totals["critical_path_s"] += max(cpu) if cpu else 0.0
+        if rec.index >= 0:
+            self.per_superstep.append(stats)
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline real-traffic totals (the counterpart of
+        ``Metrics.summary()`` for the physical execution)."""
+        out = dict(self.totals)
+        out["worker_cpu_s"] = round(out["worker_cpu_s"], 6)
+        out["critical_path_s"] = round(out["critical_path_s"], 6)
+        out["workers"] = self.nworkers
+        out["bytes_sent"] = self.pool.bytes_sent
+        out["bytes_recv"] = self.pool.bytes_recv
+        out["messages_sent"] = self.pool.messages_sent
+        out["messages_recv"] = self.pool.messages_recv
+        out["per_superstep"] = list(self.per_superstep)
+        return out
+
+    # -- property lifecycle relays ---------------------------------------
+    def add_property(self, name: str, spec: Tuple[str, Any]) -> None:
+        self._broadcast("add_property", (name, spec))
+
+    def remove_property(self, name: str) -> None:
+        self._broadcast("remove_property", name)
+
+    def ship_column(self, name: str, column: Any) -> None:
+        self.totals["bootstrap_columns"] += 1
+        self._broadcast("set_column", (name, list(column)))
+
+    def mark_critical(self, names: List[str]) -> None:
+        self._broadcast("mark_critical", list(names))
+
+    # -- checkpoint / recovery -------------------------------------------
+    def snapshot(self, tag: int) -> None:
+        self._broadcast("snapshot", tag)
+
+    def restore(self, tag: int, properties: List[str]) -> Set[str]:
+        replies = self._broadcast("restore", (tag, list(properties)))
+        missing: Set[str] = set()
+        for reply in replies:
+            missing.update(reply)
+        return missing
+
+    def reset(self) -> None:
+        self._broadcast("reset", None)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if not self.pool._dead:
+            try:
+                self._broadcast("close", None)
+            except DistributedError:
+                pass
+        self.pool.release_graph(self.graph)
+
+    # ------------------------------------------------------------------
+    # Kernel offload
+    # ------------------------------------------------------------------
+    def _merge_ops(self, engine, ops: List[int]) -> None:
+        rec = engine.flashware._current
+        for i, n in enumerate(ops):
+            rec.worker_ops[i] += n
+
+    def run_vertex_map(self, engine, subset, F, M) -> Tuple[List[int], Dict[int, Dict[str, Any]]]:
+        owners = self.owners
+        by_w: List[List[int]] = [[] for _ in range(self.nworkers)]
+        for vid in subset:
+            by_w[owners[vid]].append(vid)
+        items = []
+        for w in range(self.nworkers):
+            if not by_w[w]:
+                continue
+            payload = shipping.dump_payload({"F": F, "M": M, "vids": by_w[w]})
+            items.append((w, "vertex_map", self.sid, payload))
+        out: List[int] = []
+        updates: Dict[int, Dict[str, Any]] = {}
+        for (w, _op, _sid, _p), reply in zip(items, self._request_many(items)):
+            out.extend(reply["out"])
+            updates.update(reply["updates"])
+            self._merge_ops(engine, reply["ops"])
+            self._step_add_cpu(w, reply.get("cpu_s"))
+        out.sort()
+        return out, updates
+
+    def run_edge_map_dense(
+        self, engine, subset, edges: EdgeSet, F, M, C
+    ) -> Tuple[List[int], Dict[int, Dict[str, Any]]]:
+        owners = self.owners
+        subset_ids = list(subset)
+        if type(edges) is BaseEdges:
+            targets_by_w: List[List[int]] = [list(m) for m in self.members]
+            mats: Optional[List[Dict[int, List[int]]]] = None
+        else:
+            candidates = edges.candidate_targets(engine)
+            if candidates is None:
+                tlist: Iterable[int] = range(self.graph.num_vertices)
+            else:
+                tlist = sorted({int(v) for v in candidates})
+            targets_by_w = [[] for _ in range(self.nworkers)]
+            mats = [{} for _ in range(self.nworkers)]
+            for d in tlist:
+                w = owners[d]
+                targets_by_w[w].append(d)
+                srcs = [int(s) for s in edges.in_sources(engine, d)]
+                if srcs:
+                    mats[w][d] = srcs
+        items = []
+        for w in range(self.nworkers):
+            if not targets_by_w[w]:
+                continue
+            payload = shipping.dump_payload(
+                {
+                    "F": F,
+                    "M": M,
+                    "C": C,
+                    "subset": subset_ids,
+                    "targets": targets_by_w[w],
+                    "edge_mode": ("csr",) if mats is None else ("mat", mats[w]),
+                }
+            )
+            items.append((w, "dense", self.sid, payload))
+        out: List[int] = []
+        updates: Dict[int, Dict[str, Any]] = {}
+        for (w, _op, _sid, _p), reply in zip(items, self._request_many(items)):
+            out.extend(reply["out"])
+            updates.update(reply["updates"])
+            self._merge_ops(engine, reply["ops"])
+            self._step_add_cpu(w, reply.get("cpu_s"))
+        out.sort()
+        return out, updates
+
+    def run_edge_map_sparse(
+        self, engine, subset, edges: EdgeSet, F, M, C, R
+    ) -> Tuple[List[int], Dict[int, Dict[str, Any]], Dict[int, Set[int]]]:
+        owners = self.owners
+        by_w: List[List[int]] = [[] for _ in range(self.nworkers)]
+        for u in subset:
+            by_w[owners[u]].append(u)
+        base = type(edges) is BaseEdges
+        items = []
+        for w in range(self.nworkers):
+            if not by_w[w]:
+                continue
+            if base:
+                edge_mode: Tuple[Any, ...] = ("csr",)
+            else:
+                mat: Dict[int, List[int]] = {}
+                for u in by_w[w]:
+                    targets = [int(t) for t in edges.out_targets(engine, u)]
+                    if targets:
+                        mat[u] = targets
+                edge_mode = ("mat", mat)
+            payload = shipping.dump_payload(
+                {"F": F, "M": M, "C": C, "sources": by_w[w], "edge_mode": edge_mode}
+            )
+            items.append((w, "sparse_map", self.sid, payload))
+
+        all_temps: List[Tuple[int, int, int, Dict[str, Any], int]] = []
+        for (w, _op, _sid, _p), reply in zip(items, self._request_many(items)):
+            self._merge_ops(engine, reply["ops"])
+            self._step_add_cpu(w, reply.get("cpu_s"))
+            for d, u, idx, staged in reply["temps"]:
+                all_temps.append((d, u, idx, staged, w))
+
+        out = sorted({d for d, _u, _i, _s, _w in all_temps})
+        contributors: Dict[int, Set[int]] = {}
+        fold_by_w: List[List[Tuple[int, int, int, Dict[str, Any]]]] = [
+            [] for _ in range(self.nworkers)
+        ]
+        temp_entries = 0
+        for d, u, idx, staged, producer in all_temps:
+            contributors.setdefault(d, set()).add(producer)
+            owner = owners[d]
+            if producer != owner:
+                temp_entries += 1
+            fold_by_w[owner].append((d, u, idx, staged))
+
+        fold_items = []
+        for w in range(self.nworkers):
+            if not fold_by_w[w]:
+                continue
+            payload = shipping.dump_payload({"R": R, "temps": fold_by_w[w]})
+            fold_items.append((w, "sparse_fold", self.sid, payload))
+        updates: Dict[int, Dict[str, Any]] = {}
+        for (w, _op, _sid, _p), reply in zip(fold_items, self._request_many(fold_items)):
+            updates.update(reply["updates"])
+            self._merge_ops(engine, reply["ops"])
+            self._step_add_cpu(w, reply.get("cpu_s"))
+
+        reduce_entries = sum(
+            len({p for p in contributors[d] if p != owners[d]}) for d in updates
+        )
+        self.step_add("temp_entries", temp_entries)
+        self.step_add("reduce_entries", reduce_entries)
+        return out, updates, contributors
+
+    # -- barrier commit distribution -------------------------------------
+    def distribute_commits(
+        self,
+        commits: List[Tuple[int, Dict[str, Any], List[str]]],
+        broadcast_all: bool,
+    ) -> None:
+        fw = self.fw
+        owners = self.owners
+        critical = fw._critical
+        sco = fw.options.sync_critical_only
+        nmo = fw.options.necessary_mirrors_only
+        per_worker: List[List[Tuple[int, Dict[str, Any]]]] = [
+            [] for _ in range(self.nworkers)
+        ]
+        staled: Set[str] = set()
+        for vid, changed, sync_props in commits:
+            owner = int(owners[vid])
+            if broadcast_all or not nmo:
+                scope = fw.partition.all_mirrors(vid)
+            else:
+                scope = fw.partition.neighbor_mirrors(vid)
+            if sco:
+                remote_payload = {n: v for n, v in changed.items() if n in critical}
+                for name in changed:
+                    if name not in critical:
+                        staled.add(name)
+            else:
+                remote_payload = changed
+            has_sync = bool(sync_props)
+            for w in range(self.nworkers):
+                if w == owner:
+                    per_worker[w].append((vid, changed))
+                    self.step_add("commit_entries", 1)
+                elif remote_payload:
+                    per_worker[w].append((vid, remote_payload))
+                    if has_sync and w in scope:
+                        self.step_add("sync_entries", 1)
+                    else:
+                        self.step_add("extra_entries", 1)
+        staled_list = sorted(staled)
+        items = []
+        for w in range(self.nworkers):
+            if per_worker[w] or staled_list:
+                items.append((w, "commit", self.sid, (per_worker[w], staled_list)))
+        self._request_many(items)
+
+
+# ---------------------------------------------------------------------------
+# Driver-side state + middleware
+# ---------------------------------------------------------------------------
+class NotifyingVertexState(VertexState):
+    """The driver's authoritative vertex state, relaying property
+    lifecycle operations to the workers so their column sets stay in
+    lock-step (values stream separately through the barrier deltas)."""
+
+    def __init__(self, num_vertices: int):
+        super().__init__(num_vertices)
+        self._session: Optional[DistSession] = None
+
+    def attach_session(self, session: Optional[DistSession]) -> None:
+        self._session = session
+
+    def add_property(self, name, default=None, factory=None) -> None:
+        super().add_property(name, default=default, factory=factory)
+        s = self._session
+        if s is None:
+            return
+        if factory is None:
+            s.add_property(name, ("default", default))
+            return
+        try:
+            pickle.dumps(factory)
+        except Exception:
+            # process-local callable: ship the materialized column instead
+            s.add_property(name, ("column", list(self.column(name))))
+        else:
+            s.add_property(name, ("factory", factory))
+
+    def remove_property(self, name: str) -> None:
+        super().remove_property(name)
+        if self._session is not None:
+            self._session.remove_property(name)
+
+    def reset_property(self, name: str) -> None:
+        super().reset_property(name)
+        if self._session is not None:
+            self._session.ship_column(name, self.column(name))
+
+
+class DistributedFlashware(Flashware):
+    """Flashware whose barrier really moves data between processes.
+
+    The simulated accounting is inherited untouched; this subclass adds
+    the physical side: kernel offload sessions, commit distribution,
+    critical-promotion bootstrap, and coordinated checkpoints."""
+
+    _needs_commit_log = True
+
+    def __init__(
+        self,
+        graph,
+        num_workers: int = 4,
+        options=None,
+        partition_strategy: str = "hash",
+    ):
+        super().__init__(
+            graph,
+            num_workers,
+            options=options,
+            partition_strategy=partition_strategy,
+            typed_state=False,
+        )
+        self.session: Optional[DistSession] = None
+        session = DistSession(get_pool(num_workers), self, partition_strategy)
+        state = NotifyingVertexState(graph.num_vertices)
+        self.state = state
+        state.attach_session(session)
+        self.session = session
+
+    # -- lifecycle -------------------------------------------------------
+    def begin_superstep(self, kind, label="", frontier_in=0):
+        rec = super().begin_superstep(kind, label, frontier_in=frontier_in)
+        if self.session is not None:
+            self.session.begin_step()
+        return rec
+
+    def _after_commit_updates(self, commits, broadcast_all, rec) -> None:
+        session = self.session
+        if session is None:
+            return
+        session.distribute_commits(commits, broadcast_all)
+        session.finish_step(rec)
+
+    def barrier_columnar(self, *args, **kwargs):
+        raise RuntimeError(
+            "the distributed executor runs interpreted kernels only; "
+            "barrier_columnar must not be reached"
+        )
+
+    def mark_critical(self, names: Iterable[str]) -> None:
+        names = list(names)
+        fresh = [
+            n for n in names
+            if n not in self._critical and self.state.has_property(n)
+        ]
+        debts = {n: set(self._unsynced.get(n, ())) for n in fresh}
+        super().mark_critical(names)
+        session = self.session
+        if session is None:
+            return
+        for name in fresh:
+            # Bootstrap: ship the current full column so every worker's
+            # copy is fresh from the promotion point on (uncharged — the
+            # simulated model pays only the per-vertex debt below).
+            session.ship_column(name, self.state.column(name))
+            if (
+                debts[name]
+                and self.options.sync_critical_only
+                and self._current is not None
+            ):
+                # Real counterpart of the charged promotion debt.
+                for vid in debts[name]:
+                    mirrors = self.partition.neighbor_mirrors(vid)
+                    if mirrors:
+                        session.step_add("sync_entries", len(mirrors))
+        if fresh:
+            session.mark_critical(fresh)
+
+    # -- checkpoint / recovery ------------------------------------------
+    def checkpoint(self):
+        snap = super().checkpoint()
+        if self.session is not None:
+            self.session.snapshot(snap["superstep"])
+        return snap
+
+    def restore(self, snapshot) -> None:
+        super().restore(snapshot)
+        session = self.session
+        if session is None:
+            return
+        properties = list(self.state.property_names)
+        missing = session.restore(snapshot["superstep"], properties)
+        for name in sorted(missing):
+            session.ship_column(name, self.state.column(name))
+        if self._critical:
+            session.mark_critical(sorted(self._critical))
+
+    def reset_for_recovery(self) -> None:
+        session = self.session
+        super().reset_for_recovery()
+        state = self.state
+        if isinstance(state, NotifyingVertexState):
+            state.attach_session(session)
+        if session is not None:
+            session.reset()
+
+    def dist_summary(self) -> Dict[str, Any]:
+        """Real-traffic totals of this engine's session."""
+        if self.session is None:
+            return {}
+        return self.session.summary()
+
+    def close(self) -> None:
+        if self.session is not None:
+            self.session.close()

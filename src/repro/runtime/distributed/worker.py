@@ -1,0 +1,526 @@
+"""Worker-process side of the multi-process executor.
+
+Each worker holds:
+
+* the **shared graph** — mapped from the parent's shared-memory segment
+  (or unpickled on platforms without shared memory);
+* a **full-width columnar vertex state**
+  (:class:`~repro.runtime.vectorized.state.TypedVertexState`): the worker
+  is authoritative for the vertices it masters plus every *critical*
+  property of every vertex (kept fresh by the mirror-sync deltas); other
+  entries may be stale, which :class:`GuardedState` turns into a loud
+  :class:`~repro.errors.StaleReadError` instead of a silent wrong answer;
+* an **engine proxy** exposing exactly the surface kernels touch
+  (``.graph``, ``.flashware.state``, ``.get``, ``.charge``) so the
+  unmodified :class:`~repro.core.vertex.VertexView`/``WorkingView``
+  machinery works against worker-local state.
+
+The protocol is strict request/reply over one duplex pipe: the parent
+sends ``(op, session_id, payload)``; the worker replies ``("ok", result)``
+or ``("err", type_name, pickled_exc_or_None, traceback_text)``.  Kernel
+requests replicate the engine's interpreted inner loops exactly —
+including charge ordering and early-exit points — so per-worker op counts
+and results are bit-identical to the single-process run.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import StaleReadError
+from repro.graph.partition import partition_owners
+from repro.runtime.distributed import shipping
+from repro.runtime.state import VertexState
+from repro.runtime.vectorized.state import TypedVertexState
+
+
+class GuardedState:
+    """Read/write facade over the worker's column store that raises
+    :class:`StaleReadError` on reads that may observe a stale mirror.
+
+    An entry ``(vid, name)`` is definitely fresh when the worker masters
+    ``vid``, or the property is critical (mirror-synced every barrier),
+    or the property has never changed since its last full-column ship.
+    Everything else is stale *only if* the parent flagged the property as
+    carrying unsynced changes (``sync_critical_only`` mode)."""
+
+    __slots__ = ("_state", "_session")
+
+    def __init__(self, state: VertexState, session: "WorkerSession"):
+        self._state = state
+        self._session = session
+
+    # -- the VertexState surface kernels use ---------------------------
+    def get(self, vid: int, name: str) -> Any:
+        s = self._session
+        if (
+            name in s.staled
+            and name not in s.critical
+            and s.owner[vid] != s.rank
+        ):
+            raise StaleReadError(
+                f"worker {s.rank} read non-critical property {name!r} of "
+                f"remote vertex {vid}, whose mirror copy may be stale "
+                f"(changes to {name!r} were committed without mirror sync). "
+                f'Run with analysis="static" (the default) so the property '
+                f"is marked critical ahead of time."
+            )
+        return self._state.get(vid, name)
+
+    def set(self, vid: int, name: str, value: Any) -> None:
+        self._state.set(vid, name, value)
+
+    def has_property(self, name: str) -> bool:
+        return self._state.has_property(name)
+
+    def row(self, vid: int) -> Dict[str, Any]:
+        return {name: self.get(vid, name) for name in self._state.property_names}
+
+    @property
+    def property_names(self) -> List[str]:
+        return self._state.property_names
+
+    def column(self, name: str) -> Any:
+        return self._state.column(name)
+
+
+class _ProxyFlashware:
+    """The ``engine.flashware`` surface vertex views touch."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: GuardedState):
+        self.state = state
+
+
+class WorkerProxy:
+    """Worker-local stand-in for the driver's FlashEngine: the object
+    shipped kernel closures see wherever they captured the engine."""
+
+    def __init__(self, session: "WorkerSession"):
+        self.graph = session.graph
+        self.flashware = _ProxyFlashware(session.guarded)
+        self._session = session
+
+    def get(self, vid: int):
+        from repro.core.vertex import VertexView
+
+        return VertexView(self, int(vid))
+
+    def value(self, vid: int, name: str) -> Any:
+        return self.flashware.state.get(vid, name)
+
+    def values(self, name: str) -> List[Any]:
+        column = self.flashware.state.column(name)
+        if isinstance(column, np.ndarray):
+            return column.tolist()
+        return list(column)
+
+    def charge(self, vid: int, ops: int) -> None:
+        s = self._session
+        s.ops[int(s.owner[vid])] += ops
+
+    @property
+    def num_workers(self) -> int:
+        return self._session.nworkers
+
+
+class WorkerSession:
+    """One engine's worth of worker-local state (a pool multiplexes
+    several engines over the same worker processes)."""
+
+    def __init__(
+        self,
+        rank: int,
+        nworkers: int,
+        graph,
+        shm,
+        partition_strategy: str,
+        sync_critical_only: bool,
+    ):
+        self.rank = rank
+        self.nworkers = nworkers
+        self.graph = graph
+        self.shm = shm  # keep the segment alive while the graph lives
+        self.owner = partition_owners(graph, nworkers, partition_strategy)
+        self.owned: List[int] = np.nonzero(self.owner == rank)[0].tolist()
+        self.sync_critical_only = sync_critical_only
+        self.state = TypedVertexState(graph.num_vertices)
+        self.guarded = GuardedState(self.state, self)
+        self.proxy = WorkerProxy(self)
+        #: Properties critical on the driver (mirror-synced every barrier).
+        self.critical: Set[str] = set()
+        #: Properties with driver-side changes this worker never received.
+        self.staled: Set[str] = set()
+        #: Per-owner op counts of the current kernel request (length
+        #: ``nworkers``: user functions may ``engine.charge`` any vertex).
+        self.ops: List[int] = [0] * nworkers
+        #: Coordinated snapshots of the owned state, keyed by superstep.
+        self.snapshots: Dict[int, Dict[str, Any]] = {}
+
+    # -- property lifecycle (requests from the driver) ------------------
+    def add_property(self, name: str, spec: Tuple[str, Any]) -> None:
+        kind, value = spec
+        if kind == "default":
+            self.state.add_property(name, default=value)
+        elif kind == "factory":
+            self.state.add_property(name, factory=value)
+        else:  # ("column", materialized full column)
+            self.state.add_property(name)
+            self.state.install_column(name, list(value))
+        self.staled.discard(name)
+
+    def remove_property(self, name: str) -> None:
+        self.state.remove_property(name)
+        self.critical.discard(name)
+        self.staled.discard(name)
+
+    def set_column(self, name: str, column: List[Any]) -> None:
+        """Install a full authoritative column (reset, critical-promotion
+        bootstrap, restore fill-in) — clears any staleness."""
+        if not self.state.has_property(name):
+            self.state.add_property(name)
+        self.state.install_column(name, list(column))
+        self.staled.discard(name)
+
+    def mark_critical(self, names: List[str]) -> None:
+        self.critical.update(names)
+        for name in names:
+            self.staled.discard(name)
+
+    def apply_commit(
+        self,
+        entries: List[Tuple[int, Dict[str, Any]]],
+        staled_props: List[str],
+    ) -> None:
+        """Apply one barrier's delta batch: ``entries`` carry the fresh
+        values this worker is entitled to; ``staled_props`` lists the
+        properties that changed somewhere without reaching this worker."""
+        state = self.state
+        for vid, props in entries:
+            for name, value in props.items():
+                state.set(vid, name, value)
+        if self.sync_critical_only:
+            for name in staled_props:
+                if name not in self.critical:
+                    self.staled.add(name)
+
+    # -- checkpoint / recovery -------------------------------------------
+    def snapshot(self, tag: int) -> None:
+        """Stash a copy of the owned entries of every property (the
+        worker-side half of a coordinated checkpoint)."""
+        from repro.runtime.flashware import Flashware
+
+        self.snapshots[tag] = {
+            "columns": {
+                name: Flashware._copy_column(self.state.column(name))
+                for name in self.state.property_names
+            },
+            "properties": list(self.state.property_names),
+            "staled": set(self.staled),
+            "critical": set(self.critical),
+        }
+
+    def restore(self, tag: int, properties: List[str]) -> List[str]:
+        """Roll back to the stashed snapshot ``tag``; returns property
+        names in the checkpoint the stash cannot cover (declared after
+        the stash was dropped, or restored from a foreign store) — the
+        driver pushes those as full columns."""
+        snap = self.snapshots.get(tag)
+        missing: List[str] = []
+        for name in list(self.state.property_names):
+            if name not in properties:
+                self.state.remove_property(name)
+                self.critical.discard(name)
+                self.staled.discard(name)
+        for name in properties:
+            if snap is not None and name in snap["columns"]:
+                from repro.runtime.flashware import Flashware
+
+                if not self.state.has_property(name):
+                    self.state.add_property(name)
+                self.state.install_column(
+                    name, Flashware._copy_column(snap["columns"][name])
+                )
+            elif self.state.has_property(name):
+                missing.append(name)
+            else:
+                self.state.add_property(name)
+                missing.append(name)
+        if snap is not None:
+            self.staled = set(snap["staled"])
+            self.critical = set(snap["critical"])
+        return missing
+
+    def drop_snapshots(self, keep: List[int]) -> None:
+        keep_set = set(keep)
+        for tag in list(self.snapshots):
+            if tag not in keep_set:
+                del self.snapshots[tag]
+
+    def reset(self) -> None:
+        """Fresh logical run (recovery re-execution): new empty state,
+        cleared analysis sets.  Snapshots are *kept* — the replay restores
+        from them."""
+        self.state = TypedVertexState(self.graph.num_vertices)
+        self.guarded = GuardedState(self.state, self)
+        self.proxy = WorkerProxy(self)
+        self.critical = set()
+        self.staled = set()
+
+
+# ---------------------------------------------------------------------------
+# Kernel execution (replicating the engine's interpreted loops exactly)
+# ---------------------------------------------------------------------------
+def _run_vertex_map(session: WorkerSession, payload: bytes) -> Dict[str, Any]:
+    from repro.core.vertex import WorkingView
+
+    req = shipping.load_payload(payload, session)
+    F, M, vids = req["F"], req["M"], req["vids"]
+    engine = session.proxy
+    session.ops = [0] * session.nworkers
+    charge = session.proxy.charge
+    out: List[int] = []
+    updates: Dict[int, Dict[str, Any]] = {}
+    for vid in vids:
+        view = WorkingView(engine, vid)
+        if F is not None:
+            charge(vid, 1)
+            if not F(view):
+                continue
+        if M is not None:
+            charge(vid, 1)
+            result = M(view)
+            if isinstance(result, WorkingView):
+                view = result
+        out.append(vid)
+        if view.staged:
+            updates[vid] = dict(view.staged)
+    return {"out": out, "updates": updates, "ops": list(session.ops)}
+
+
+def _dense_sources(session: WorkerSession, edge_mode, vid: int):
+    if edge_mode[0] == "csr":
+        return session.graph.in_neighbors(vid)
+    return edge_mode[1].get(vid, ())
+
+
+def _run_dense(session: WorkerSession, payload: bytes) -> Dict[str, Any]:
+    from repro.core.vertex import VertexView, WorkingView
+
+    req = shipping.load_payload(payload, session)
+    F, M, C = req["F"], req["M"], req["C"]
+    subset: Set[int] = set(req["subset"])
+    targets: List[int] = req["targets"]
+    edge_mode = req["edge_mode"]
+    engine = session.proxy
+    session.ops = [0] * session.nworkers
+    charge = session.proxy.charge
+    out: List[int] = []
+    updates: Dict[int, Dict[str, Any]] = {}
+    for vid in targets:
+        sources = _dense_sources(session, edge_mode, vid)
+        if len(sources) == 0:
+            continue
+        view = WorkingView(engine, vid)
+        applied = False
+        for src in sources:
+            src = int(src)
+            charge(vid, 1)
+            if C is not None and not C(view):
+                break
+            if src not in subset:
+                continue
+            src_view = VertexView(engine, src)
+            if F is None or F(src_view, view):
+                result = M(src_view, view)
+                if isinstance(result, WorkingView):
+                    view = result
+                applied = True
+        if applied:
+            out.append(vid)
+            if view.staged:
+                updates[vid] = dict(view.staged)
+    return {"out": out, "updates": updates, "ops": list(session.ops)}
+
+
+def _sparse_targets(session: WorkerSession, edge_mode, u: int):
+    if edge_mode[0] == "csr":
+        return session.graph.out_neighbors(u)
+    return edge_mode[1].get(u, ())
+
+
+def _run_sparse_map(session: WorkerSession, payload: bytes) -> Dict[str, Any]:
+    """Phase A of the push kernel: active sources mastered here produce
+    temp values, tagged ``(u, idx)`` so the owner can fold them in the
+    exact order the single-process loop would have."""
+    from repro.core.vertex import VertexView, WorkingView
+
+    req = shipping.load_payload(payload, session)
+    F, M, C = req["F"], req["M"], req["C"]
+    sources: List[int] = req["sources"]
+    edge_mode = req["edge_mode"]
+    engine = session.proxy
+    session.ops = [0] * session.nworkers
+    charge = session.proxy.charge
+    temps: List[Tuple[int, int, int, Dict[str, Any]]] = []  # (d, u, idx, staged)
+    for u in sources:
+        src_view = VertexView(engine, u)
+        idx = 0
+        for d in _sparse_targets(session, edge_mode, u):
+            d = int(d)
+            charge(u, 1)
+            if C is not None and not C(VertexView(engine, d)):
+                continue
+            tgt_view = WorkingView(engine, d)
+            if F is not None and not F(src_view, tgt_view):
+                continue
+            result = M(src_view, tgt_view)
+            if isinstance(result, WorkingView):
+                tgt_view = result
+            charge(u, 1)
+            temps.append((d, u, idx, dict(tgt_view.staged)))
+            idx += 1
+    return {"temps": temps, "ops": list(session.ops)}
+
+
+def _run_sparse_fold(session: WorkerSession, payload: bytes) -> Dict[str, Any]:
+    """Phase B of the push kernel: fold routed temps into each owned
+    target with R, in global source order."""
+    from repro.core.vertex import WorkingView
+
+    req = shipping.load_payload(payload, session)
+    R = req["R"]
+    temps: List[Tuple[int, int, int, Dict[str, Any]]] = req["temps"]
+    engine = session.proxy
+    session.ops = [0] * session.nworkers
+    charge = session.proxy.charge
+    grouped: Dict[int, List[Tuple[int, int, Dict[str, Any]]]] = {}
+    for d, u, idx, staged in temps:
+        grouped.setdefault(d, []).append((u, idx, staged))
+    updates: Dict[int, Dict[str, Any]] = {}
+    for d, group in grouped.items():
+        group.sort(key=lambda t: (t[0], t[1]))
+        acc = WorkingView(engine, d)
+        for _u, _idx, staged in group:
+            charge(d, 1)
+            temp_view = WorkingView(engine, d, local=dict(staged))
+            result = R(temp_view, acc)
+            if isinstance(result, WorkingView):
+                acc = result
+        if acc.staged:
+            updates[d] = dict(acc.staged)
+    return {"updates": updates, "ops": list(session.ops)}
+
+
+# ---------------------------------------------------------------------------
+# Main loop
+# ---------------------------------------------------------------------------
+_KERNELS = {
+    "vertex_map": _run_vertex_map,
+    "dense": _run_dense,
+    "sparse_map": _run_sparse_map,
+    "sparse_fold": _run_sparse_fold,
+}
+
+
+def worker_main(rank: int, conn) -> None:
+    """Entry point of a worker process: serve requests until ``stop``.
+
+    The wire format is length-prefixed pickle both ways (the driver
+    serializes/deserializes explicitly so it can count bytes)."""
+    import pickle
+
+    def reply(msg: Tuple) -> None:
+        conn.send_bytes(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+
+    sessions: Dict[int, WorkerSession] = {}
+    graphs: Dict[int, Tuple[Any, Any]] = {}  # token -> (graph, shm)
+    while True:
+        try:
+            op, sid, payload = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "stop":
+                reply(("ok", None))
+                break
+            elif op == "ping":
+                result = rank
+            elif op == "put_graph":
+                token, meta = payload
+                if token not in graphs:
+                    graphs[token] = shipping.import_graph(meta)
+                result = None
+            elif op == "drop_graph":
+                entry = graphs.pop(payload, None)
+                if entry is not None and entry[1] is not None:
+                    entry[1].close()
+                result = None
+            elif op == "open":
+                token = payload["graph_token"]
+                graph, shm = graphs[token]
+                sessions[sid] = WorkerSession(
+                    rank,
+                    payload["nworkers"],
+                    graph,
+                    shm,
+                    payload["partition_strategy"],
+                    payload["sync_critical_only"],
+                )
+                result = None
+            elif op == "close":
+                sessions.pop(sid, None)
+                result = None
+            else:
+                session = sessions[sid]
+                if op in _KERNELS:
+                    # CPU seconds (not wall): excludes time sliced out to
+                    # other workers, so the driver can reconstruct the
+                    # parallel critical path even on core-starved hosts.
+                    cpu0 = time.process_time()
+                    result = _KERNELS[op](session, payload)
+                    result["cpu_s"] = time.process_time() - cpu0
+                elif op == "commit":
+                    session.apply_commit(*payload)
+                    result = None
+                elif op == "add_property":
+                    session.add_property(*payload)
+                    result = None
+                elif op == "remove_property":
+                    session.remove_property(payload)
+                    result = None
+                elif op == "set_column":
+                    session.set_column(*payload)
+                    result = None
+                elif op == "mark_critical":
+                    session.mark_critical(payload)
+                    result = None
+                elif op == "snapshot":
+                    session.snapshot(payload)
+                    result = None
+                elif op == "restore":
+                    result = session.restore(*payload)
+                elif op == "drop_snapshots":
+                    session.drop_snapshots(payload)
+                    result = None
+                elif op == "reset":
+                    session.reset()
+                    result = None
+                else:
+                    raise ValueError(f"unknown worker op {op!r}")
+            reply(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the driver
+            tb = traceback.format_exc()
+            try:
+                blob: Optional[bytes] = pickle.dumps(exc)
+            except Exception:
+                blob = None
+            try:
+                reply(("err", type(exc).__name__, blob, tb))
+            except Exception:
+                break

@@ -88,6 +88,12 @@ class FlashwareOptions:
 class Flashware:
     """The middleware instance backing one FLASH (or baseline) program."""
 
+    #: When True, ``barrier`` collects the per-vertex commit log and hands
+    #: it to :meth:`_after_commit_updates` — the hook the distributed
+    #: executor overrides to turn the *charged* mirror sync into real
+    #: inter-process delta batches.  Off (and free) on the base class.
+    _needs_commit_log = False
+
     def __init__(
         self,
         graph: Graph,
@@ -306,6 +312,7 @@ class Flashware:
         )
         changed_vids: Set[int] = set()
         contributors = contributors or {}
+        commit_log: list = []
 
         for vid, props in updates.items():
             changed = {
@@ -332,6 +339,8 @@ class Flashware:
                 for name in changed
                 if not self.options.sync_critical_only or name in self._critical
             ]
+            if self._needs_commit_log:
+                commit_log.append((vid, changed, sync_props))
             if self.options.sync_critical_only:
                 for name in changed:
                     if name not in self._critical:
@@ -356,8 +365,17 @@ class Flashware:
                 reduce_messages=rec.reduce_messages,
                 reduce_values=rec.reduce_values,
             )
+        if self._needs_commit_log:
+            self._after_commit_updates(commit_log, broadcast_all, rec)
         self._finish_commit(rec)
         return changed_vids
+
+    def _after_commit_updates(self, commits, broadcast_all: bool, rec: SuperstepRecord) -> None:
+        """Hook called with the commit log just before a superstep's
+        commit is finalized — only when :attr:`_needs_commit_log` is set.
+        The distributed executor overrides this to ship the committed
+        deltas to the worker processes; the base (simulated) runtime has
+        nothing to do."""
 
     def barrier_columnar(
         self,

@@ -19,6 +19,58 @@ import copy
 from typing import Any, Callable, Dict, List, Optional
 
 
+class ConstantFactory:
+    """Per-vertex default factory returning one shared immutable value.
+
+    A class (not a lambda) so factories survive ``pickle``/``deepcopy`` —
+    required once vertex state ships across process boundaries (the
+    distributed executor re-creates columns on workers from the same
+    factories, and checkpoints of factory-built properties must
+    round-trip through serializing stores)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __call__(self) -> Any:
+        return self.value
+
+    def __getstate__(self):
+        # Wrapped in a tuple: a bare falsy state (None, 0, "") would make
+        # pickle skip __setstate__ entirely.
+        return (self.value,)
+
+    def __setstate__(self, state):
+        (self.value,) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ConstantFactory({self.value!r})"
+
+
+class CopyFactory:
+    """Per-vertex default factory producing shallow copies of a mutable
+    prototype (set/list/dict), so vertices never share storage.  Picklable
+    for the same reasons as :class:`ConstantFactory`."""
+
+    __slots__ = ("prototype",)
+
+    def __init__(self, prototype: Any):
+        self.prototype = prototype
+
+    def __call__(self) -> Any:
+        return copy.copy(self.prototype)
+
+    def __getstate__(self):
+        return (self.prototype,)
+
+    def __setstate__(self, state):
+        (self.prototype,) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CopyFactory({self.prototype!r})"
+
+
 def _default_copier(default: Any) -> Callable[[], Any]:
     """Return a factory producing per-vertex initial values.
 
@@ -26,8 +78,8 @@ def _default_copier(default: Any) -> Callable[[], Any]:
     not share storage; immutable values are reused as-is.
     """
     if isinstance(default, (set, list, dict, bytearray)):
-        return lambda: copy.copy(default)
-    return lambda: default
+        return CopyFactory(default)
+    return ConstantFactory(default)
 
 
 class VertexState:
@@ -99,7 +151,7 @@ class VertexState:
         default degrades to ``None``."""
         self._columns[name] = column
         if factory is not None or name not in self._factories:
-            self._factories[name] = factory if factory is not None else (lambda: None)
+            self._factories[name] = factory if factory is not None else ConstantFactory(None)
 
     def reset_property(self, name: str) -> None:
         """Reinitialize a property column to its default values."""

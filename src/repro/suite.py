@@ -103,6 +103,36 @@ def _best_of(graph: Graph, num_workers: int, *variants: Callable) -> Any:
     return best
 
 
+def _run_flash_direct(
+    app: str,
+    graph: Graph,
+    num_workers: int,
+    executor: str,
+    cluster: Optional[ClusterSpec],
+):
+    """Run every variant of ``app`` on an explicitly-constructed engine
+    (the non-default executor/cluster path) and keep the cheaper run.
+    Returns ``(result, dist_summary_or_None)``; all engines are closed."""
+    best = None
+    best_cost = None
+    engines = []
+    try:
+        for variant in _FLASH_VARIANTS[app]:
+            engine = FlashEngine(
+                graph, num_workers=num_workers, executor=executor, cluster=cluster
+            )
+            engines.append(engine)
+            result = variant(engine, num_workers)
+            cost = result.engine.cost().total
+            if best_cost is None or cost < best_cost:
+                best, best_cost = result, cost
+        dist = best.engine.dist_summary() if executor == "mp" else None
+    finally:
+        for engine in engines:
+            engine.close()
+    return best, dist
+
+
 def _run_flash_with_recovery(
     app: str,
     graph: Graph,
@@ -111,6 +141,8 @@ def _run_flash_with_recovery(
     checkpoint_policy: Optional[Callable[[], CheckpointPolicy]],
     checkpoint_store: Optional[Callable[[], CheckpointStore]],
     max_retries: int,
+    executor: str = "inline",
+    cluster: Optional[ClusterSpec] = None,
 ):
     """Run every variant of ``app`` under recovery supervision (fresh
     engine, injector, policy and store per variant — faults must strike
@@ -118,7 +150,9 @@ def _run_flash_with_recovery(
     best = None
     best_cost = None
     for variant in _FLASH_VARIANTS[app]:
-        engine = FlashEngine(graph, num_workers=num_workers)
+        engine = FlashEngine(
+            graph, num_workers=num_workers, executor=executor, cluster=cluster
+        )
         report = run_with_recovery(
             engine,
             lambda eng, _variant=variant: _variant(eng, num_workers),
@@ -129,7 +163,11 @@ def _run_flash_with_recovery(
         )
         cost = report.result.engine.cost().total
         if best_cost is None or cost < best_cost:
+            if best is not None:
+                best.result.engine.close()
             best, best_cost = report, cost
+        else:
+            report.result.engine.close()
     return best
 
 
@@ -145,12 +183,23 @@ def run_app(
     checkpoint_store: Optional[Callable[[], CheckpointStore]] = None,
     max_retries: int = 5,
     tracer: Optional[Tracer] = None,
+    executor: str = "inline",
+    cluster: Optional[ClusterSpec] = None,
 ) -> Optional[SuiteRun]:
     """Run one application on one framework.
 
     ``backend`` selects the FLASH execution backend (``interp`` /
     ``vectorized`` / ``auto``); ``None`` keeps the ambient default.
     Baselines always interpret.
+
+    ``executor`` selects the FLASH execution substrate: ``inline`` (the
+    default single-process simulation) or ``mp`` (real worker processes,
+    see :mod:`repro.runtime.distributed`).  ``cluster`` pins an explicit
+    :class:`ClusterSpec`; with ``executor="mp"`` its ``nodes`` count
+    becomes the number of spawned workers.  FLASH only — baselines have
+    no multiprocess executor.  With ``executor="mp"`` the real
+    mirror-synchronization accounting lands in
+    ``SuiteRun.extra["distributed"]``.
 
     ``analysis`` selects the FLASH critical-property analysis mode
     (``static`` / ``trace`` / ``check`` / ``off``, see
@@ -181,6 +230,14 @@ def run_app(
     )
     if fault_tolerant and framework != "flash":
         raise ValueError("fault injection/recovery is only supported on flash")
+    explicit_engine = executor != "inline" or cluster is not None
+    if explicit_engine and framework != "flash":
+        raise ValueError("executor/cluster selection is only supported on flash")
+    if executor == "mp" and backend not in (None, "interp"):
+        raise ValueError("executor='mp' runs on the interp backend; "
+                         f"backend={backend!r} is not supported")
+    if cluster is not None:
+        num_workers = cluster.num_workers
     try:
         with use_tracer(tracer):
             if framework == "flash":
@@ -193,10 +250,23 @@ def run_app(
                         report = _run_flash_with_recovery(
                             app, graph, num_workers, faults,
                             checkpoint_policy, checkpoint_store, max_retries,
+                            executor=executor, cluster=cluster,
                         )
                         result = report.result
                         extra = dict(result.extra)
                         extra["recovery"] = report.stats.as_dict()
+                        if executor == "mp":
+                            extra["distributed"] = result.engine.dist_summary()
+                            result.engine.close()
+                        return SuiteRun("flash", app, result.engine.metrics,
+                                        result.values, extra)
+                    if explicit_engine:
+                        result, dist = _run_flash_direct(
+                            app, graph, num_workers, executor, cluster
+                        )
+                        extra = dict(result.extra)
+                        if dist is not None:
+                            extra["distributed"] = dist
                         return SuiteRun("flash", app, result.engine.metrics,
                                         result.values, extra)
                     result = _FLASH_RUNNERS[app](graph, num_workers)
