@@ -1,0 +1,176 @@
+"""Serving latency/throughput benchmark: client-concurrency sweep with
+and without request batching and result caching.
+
+A closed-loop load generator (``repro.serving.loadgen``) drives the
+async query server with a batchable single-source workload (BFS + SSSP)
+at increasing client concurrency, under three server configurations:
+
+* **unbatched** — batching and caching both off: every request runs as
+  an independent single-source job, serialized over the engine pool.
+  This is the "library call per request" baseline.
+* **batched** — the dispatcher merges compatible requests arriving
+  within the batching window into one multi-source frontier run
+  (``multisource.py``); caching stays off so the win is batching alone.
+* **batched_cached** — batching plus the versioned result cache; the
+  workload's hot-source skew gives the cache something to hit.
+
+For each (config, concurrency) cell the report records throughput,
+client-observed p50/p90/p99 latency, mean/max batch occupancy, and the
+result-cache hit rate.  The headline checks the tentpole claim: at high
+concurrency (>= 16 clients) batching must beat the unbatched baseline
+on throughput.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --out BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI
+
+The sweep is deterministic per seed (client RNGs are derived from it);
+wall-clock numbers vary with the host, the *ratios* are the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import load_dataset  # noqa: E402
+from repro.serving.loadgen import run_load  # noqa: E402
+
+CONFIGS = {
+    "unbatched": {"batching": False, "caching": False},
+    "batched": {"batching": True, "caching": False},
+    "batched_cached": {"batching": True, "caching": True},
+}
+
+
+def run_cell(graph, config_name, clients, args):
+    flags = CONFIGS[config_name]
+    report = run_load(
+        graph,
+        clients=clients,
+        requests_per_client=args.requests,
+        workload=args.workload,
+        batching=flags["batching"],
+        caching=flags["caching"],
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        engine_pool=args.engine_pool,
+        num_workers=args.workers,
+        hot_set_size=args.hot_set_size,
+        hot_fraction=args.hot_fraction,
+        seed=args.seed,
+    )
+    server = report["server"]
+    return {
+        "clients": clients,
+        "completed": report["completed"],
+        "wall_s": report["wall_s"],
+        "throughput_rps": report["throughput_rps"],
+        "latency_ms": report["client_latency_ms"],
+        "batch_occupancy_mean": server["batches"]["occupancy_mean"],
+        "batch_occupancy_max": server["batches"]["occupancy_max"],
+        "batches_executed": server["batches"]["executed"],
+        "batches_merged": server["batches"]["merged"],
+        "cache_hit_rate": server["cache"]["results"]["hit_rate"],
+        "engine_supersteps": server["engine_supersteps"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="OR")
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--clients", type=int, nargs="+",
+                        default=[1, 4, 8, 16, 32],
+                        help="client-concurrency sweep points")
+    parser.add_argument("--requests", type=int, default=6,
+                        help="requests per client at each sweep point")
+    parser.add_argument("--workload", default="batchable")
+    parser.add_argument("--batch-window", type=float, default=0.005)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--engine-pool", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--hot-set-size", type=int, default=4)
+    parser.add_argument("--hot-fraction", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep for CI (still writes --out)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale = min(args.scale, 0.05)
+        args.clients = [1, 16]
+        args.requests = 3
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    print(f"serving sweep on {args.dataset} ({graph}), "
+          f"workload={args.workload}, requests/client={args.requests}")
+
+    sweep = {name: [] for name in CONFIGS}
+    for clients in args.clients:
+        for name in CONFIGS:
+            cell = run_cell(graph, name, clients, args)
+            sweep[name].append(cell)
+            print(f"  {name:15s} clients={clients:3d}  "
+                  f"tput={cell['throughput_rps']:8.1f} req/s  "
+                  f"p50={cell['latency_ms']['p50']:8.1f} ms  "
+                  f"p99={cell['latency_ms']['p99']:8.1f} ms  "
+                  f"occ={cell['batch_occupancy_mean']:5.2f}  "
+                  f"hit={cell['cache_hit_rate']:.0%}")
+
+    # Headline: batching's throughput win at the highest sweep point with
+    # >= 16 clients (or the largest available).
+    eligible = [c for c in args.clients if c >= 16] or [max(args.clients)]
+    target = max(eligible)
+    idx = args.clients.index(target)
+    unbatched = sweep["unbatched"][idx]["throughput_rps"]
+    batched = sweep["batched"][idx]["throughput_rps"]
+    cached = sweep["batched_cached"][idx]["throughput_rps"]
+    headline = {
+        "clients": target,
+        "throughput_unbatched_rps": unbatched,
+        "throughput_batched_rps": batched,
+        "throughput_batched_cached_rps": cached,
+        "batching_speedup": round(batched / unbatched, 3) if unbatched else 0.0,
+        "caching_speedup": round(cached / unbatched, 3) if unbatched else 0.0,
+        "batching_wins": batched > unbatched,
+    }
+    print(f"headline: at {target} clients batching gives "
+          f"{headline['batching_speedup']:.2f}x throughput "
+          f"({unbatched:.1f} -> {batched:.1f} req/s); "
+          f"+cache {headline['caching_speedup']:.2f}x ({cached:.1f} req/s)")
+
+    payload = {
+        "config": {
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "workload": args.workload,
+            "batch_window_s": args.batch_window,
+            "max_batch": args.max_batch,
+            "engine_pool": args.engine_pool,
+            "num_workers": args.workers,
+            "hot_set_size": args.hot_set_size,
+            "hot_fraction": args.hot_fraction,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "configs": {name: CONFIGS[name] for name in CONFIGS},
+        "sweep": sweep,
+        "headline": headline,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if headline["batching_wins"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Usage::
     python -m repro lloc                       # Table I (measured vs paper)
     python -m repro lint --all                 # flashlint over every app
     python -m repro lint bfs cc --json         # ... selected apps, JSON out
+    python -m repro serve OR --clients 16      # graph-as-a-service load run
 
 The full benchmark harness lives in ``benchmarks/`` (pytest-benchmark).
 """
@@ -40,6 +41,7 @@ from repro.runtime.tracing import (
     load_trace,
 )
 from repro.runtime.vectorized.dispatch import BACKENDS
+from repro.serving.loadgen import WORKLOADS
 from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
 
 
@@ -270,6 +272,65 @@ def cmd_lint(args) -> int:
     return 1 if payload["errors"] else 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serving import run_load
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    tracer = _make_tracer(args) if args.trace else None
+    try:
+        report = run_load(
+            graph,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workload=args.workload,
+            batching=not args.no_batching,
+            caching=not args.no_caching,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            queue_depth=args.queue_depth,
+            engine_pool=args.engine_pool,
+            num_workers=args.workers,
+            backend=args.backend,
+            deadline=args.deadline,
+            seed=args.seed,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    server = report["server"]
+    print(f"served {args.workload!r} workload on {args.dataset} ({graph})")
+    print(f"  clients: {args.clients} x {args.requests} requests "
+          f"(closed loop), batching={not args.no_batching}, "
+          f"caching={not args.no_caching}")
+    print(f"  wall: {report['wall_s'] * 1e3:.1f} ms, completed: "
+          f"{report['completed']}, throughput: {report['throughput_rps']} req/s")
+    lat = report["client_latency_ms"]
+    print(f"  client latency: p50 {lat['p50']} ms, p90 {lat['p90']} ms, "
+          f"p99 {lat['p99']} ms, max {lat['max']} ms")
+    batches = server["batches"]
+    print(f"  batches: {batches['executed']} executed, {batches['merged']} "
+          f"merged, mean occupancy {batches['occupancy_mean']}, "
+          f"max {batches['occupancy_max']}")
+    cache = server["cache"]["results"]
+    print(f"  result cache: {cache['hits']} hit(s) / "
+          f"{cache['hits'] + cache['misses']} lookup(s) "
+          f"(hit rate {cache['hit_rate']:.1%}), size {cache['size']}")
+    rejected = (server["requests"]["rejected_queue_full"]
+                + server["requests"]["rejected_deadline"])
+    if rejected:
+        print(f"  rejected: {server['requests']['rejected_queue_full']} "
+              f"queue-full, {server['requests']['rejected_deadline']} "
+              f"deadline-expired")
+    print(f"  engine supersteps spent: {server['engine_supersteps']}")
+    if tracer is not None:
+        print(f"  trace: {args.trace} [{args.trace_format}]")
+    return 0
+
+
 def cmd_lloc(_args) -> int:
     measured = dict(table1_rows())
     rows = []
@@ -396,6 +457,47 @@ def main(argv=None) -> int:
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalog and exit")
 
+    p = sub.add_parser(
+        "serve",
+        help="graph-as-a-service: drive closed-loop clients against the "
+             "async query server (batching + versioned result cache)",
+    )
+    p.add_argument("dataset", choices=list(DATASETS))
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent closed-loop clients")
+    p.add_argument("--requests", type=int, default=8,
+                   help="requests issued per client")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="mixed",
+                   help="request mix (batchable = single-source only)")
+    p.add_argument("--no-batching", action="store_true",
+                   help="disable multi-source request merging")
+    p.add_argument("--no-caching", action="store_true",
+                   help="disable the versioned result cache")
+    p.add_argument("--batch-window", type=float, default=0.002, metavar="S",
+                   help="batching window in seconds")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max requests merged into one run")
+    p.add_argument("--queue-depth", type=int, default=None,
+                   help="admission queue depth (default 2x clients)")
+    p.add_argument("--engine-pool", type=int, default=2,
+                   help="resident worker engines")
+    p.add_argument("--workers", type=int, default=4,
+                   help="FLASH workers per engine")
+    p.add_argument("--backend", choices=list(BACKENDS), default=None,
+                   help="FLASH execution backend for the worker engines")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request deadline in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write serve.request/serve.batch spans and the final "
+                        "serve.metrics snapshot (inspect with 'repro trace "
+                        "summarize PATH')")
+    p.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                   default="jsonl")
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable report")
+
     p = sub.add_parser("trace", help="inspect a trace file written by run --trace")
     p.add_argument("action", choices=["summarize"],
                    help="summarize: per-primitive cost table + top-k supersteps")
@@ -406,6 +508,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
             "lloc": cmd_lloc, "trace": cmd_trace, "lint": cmd_lint,
+            "serve": cmd_serve,
             "partition-stats": cmd_partition_stats}[args.command](args)
 
 

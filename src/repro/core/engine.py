@@ -194,6 +194,7 @@ class FlashEngine:
         self._E = BaseEdges()
         self._owner = self.flashware.partition.owner_of
         self._out_degree_cache: Optional[np.ndarray] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Accessors
@@ -684,14 +685,34 @@ class FlashEngine:
 
     def close(self) -> None:
         """Release executor resources (worker-session teardown for
-        ``executor='mp'``; a no-op inline).  The engine stays readable
-        (values/metrics) but cannot run further supersteps in mp mode."""
+        ``executor='mp'``; a no-op inline).  Idempotent — safe to call
+        any number of times, so pooled/shared engines (the serving
+        layer) and ``finally`` blocks can all close defensively.  The
+        engine stays readable (values/metrics) but cannot run further
+        supersteps in mp mode."""
+        if self._closed:
+            return
+        self._closed = True
         if self._dist is not None:
             self._dist.close()
             self._dist = None
             closer = getattr(self.flashware, "close", None)
             if closer is not None:
                 closer()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "FlashEngine":
+        """Context-manager protocol: ``with FlashEngine(g) as eng:``
+        guarantees worker processes and shared-memory segments are
+        released on exit, however the block ends."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

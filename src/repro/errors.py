@@ -46,3 +46,31 @@ class WorkerCrashError(DistributedError):
     """A worker process died or stopped responding (this is a real
     process failure, unlike the *simulated* failures of
     :mod:`repro.runtime.faults`)."""
+
+
+class ServingError(ReproError):
+    """Base class for errors of the graph-as-a-service front end
+    (:mod:`repro.serving`)."""
+
+
+class UnknownAlgorithmError(ServingError):
+    """A request named an algorithm the server does not serve."""
+
+
+class InvalidRequestError(ServingError):
+    """A request carried malformed parameters (unknown parameter name,
+    out-of-range vertex id, wrong type)."""
+
+
+class QueueFullError(ServingError):
+    """The admission queue is at its depth limit; the request was
+    rejected without being enqueued (the client should back off)."""
+
+
+class DeadlineExpiredError(ServingError):
+    """The request's deadline passed while it waited in the admission
+    queue; it was dropped before any execution work was spent on it."""
+
+
+class ServerClosedError(ServingError):
+    """The server is not running (never started, or already stopped)."""

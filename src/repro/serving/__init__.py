@@ -1,0 +1,41 @@
+"""Graph-as-a-service: an async query server over one resident graph.
+
+Public surface:
+
+* :class:`GraphServer` / :class:`QueryResult` — the asyncio front end
+  (admission queue, request batching, versioned result cache, metrics).
+* :class:`ResultCache` / :func:`canonical_params` — the versioned cache.
+* :class:`ServingMetrics` — latency/throughput/occupancy accounting.
+* :func:`multi_bfs` / :func:`multi_sssp` / :func:`multi_ppr` — merged
+  multi-source kernels used by the batcher (and directly testable).
+* :func:`run_load` / :func:`run_load_async` — the closed-loop load
+  generator shared by ``repro serve`` and ``benchmarks/bench_serving.py``.
+
+See ``docs/serving.md`` for the architecture.
+"""
+
+from repro.serving.cache import ResultCache, canonical_params
+from repro.serving.loadgen import WORKLOADS, run_load, run_load_async
+from repro.serving.metrics import ServingMetrics, percentile
+from repro.serving.multisource import multi_bfs, multi_ppr, multi_sssp, top_k
+from repro.serving.registry import ServedAlgorithm, build_registry, resolve
+from repro.serving.server import GraphServer, QueryResult
+
+__all__ = [
+    "GraphServer",
+    "QueryResult",
+    "ResultCache",
+    "canonical_params",
+    "ServingMetrics",
+    "percentile",
+    "ServedAlgorithm",
+    "build_registry",
+    "resolve",
+    "multi_bfs",
+    "multi_sssp",
+    "multi_ppr",
+    "top_k",
+    "WORKLOADS",
+    "run_load",
+    "run_load_async",
+]

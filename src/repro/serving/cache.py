@@ -1,0 +1,148 @@
+"""Versioned result cache for the serving layer.
+
+Entries are keyed by ``(graph_version, algorithm, params)`` — the graph
+version is *part of the key*, so a stale entry can never be served for a
+newer graph: after ``GraphServer.bump_graph_version()`` every lookup
+misses until the result is recomputed against the new version.  Explicit
+invalidation (:meth:`ResultCache.invalidate`) additionally *removes*
+entries, bounding memory after updates.
+
+The cache is LRU-bounded and thread-safe (the server executes batches on
+worker threads while the asyncio front end probes on the event loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+CacheKey = Tuple[int, str, Hashable]
+
+#: Distinguishes "no entry" from a cached ``None`` result.
+_MISS = object()
+
+
+def canonical_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """A hashable, order-independent form of a request's parameters.
+    Lists/sets (e.g. PPR seed sets) become sorted tuples."""
+    items = []
+    for name in sorted(params):
+        value = params[name]
+        if isinstance(value, (list, set, frozenset)):
+            value = tuple(sorted(value))
+        items.append((name, value))
+    return tuple(items)
+
+
+class ResultCache:
+    """LRU cache of query results keyed by (graph-version, algorithm,
+    canonical params)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, graph_version: int, algorithm: str, params: Hashable) -> CacheKey:
+        return (int(graph_version), algorithm, params)
+
+    def get(self, graph_version: int, algorithm: str, params: Hashable) -> Any:
+        """The cached result, or ``None`` on a miss (use :meth:`lookup`
+        when ``None`` is a legal cached value)."""
+        value, hit = self.lookup(graph_version, algorithm, params)
+        return value if hit else None
+
+    def lookup(
+        self, graph_version: int, algorithm: str, params: Hashable
+    ) -> Tuple[Any, bool]:
+        """``(value, hit)`` — and LRU-touch the entry on a hit."""
+        key = self._key(graph_version, algorithm, params)
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return None, False
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value, True
+
+    def put(self, graph_version: int, algorithm: str, params: Hashable, value: Any) -> None:
+        key = self._key(graph_version, algorithm, params)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate(
+        self,
+        graph_version: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> int:
+        """Remove matching entries and return how many were dropped.
+
+        ``graph_version=None`` matches every version (e.g. dropping all
+        cached results of one algorithm); ``algorithm=None`` matches
+        every algorithm (e.g. purging everything computed against a
+        superseded graph version).  Both ``None`` empties the cache.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if (graph_version is None or key[0] == graph_version)
+                and (algorithm is None or key[1] == algorithm)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidated += len(doomed)
+            return len(doomed)
+
+    def purge_older_than(self, graph_version: int) -> int:
+        """Remove every entry computed against a version strictly older
+        than ``graph_version`` (bounded memory after graph updates)."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] < graph_version]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidated += len(doomed)
+            return len(doomed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ResultCache(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,133 @@
+"""Serving-side metrics: latency percentiles, throughput, batch
+occupancy, cache hit rate, rejection accounting.
+
+Complements :class:`repro.runtime.metrics.Metrics` (which accounts for
+*engine* work in BSP supersteps) with the quantities a request front end
+is judged by.  A :class:`ServingMetrics` is updated from both the
+asyncio event loop (admission, completion) and the worker threads that
+execute batches, so every mutation takes the lock.
+
+The snapshot is exported through the PR-3 tracing layer as a
+``serve.metrics`` instant when the server stops (see
+:mod:`repro.serving.server`), so serving runs are inspectable with
+``repro trace summarize`` alongside engine spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Request terminal states tracked per algorithm.
+STATUSES = ("ok", "cache_hit", "rejected_queue_full", "rejected_deadline", "error")
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence (0.0 on
+    empty input)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+class ServingMetrics:
+    """Counters + reservoirs for one server lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self.counts: Dict[str, int] = {status: 0 for status in STATUSES}
+        self.per_algorithm: Dict[str, Dict[str, int]] = {}
+        #: Completed-request latencies in seconds (ok + cache_hit).
+        self.latencies: List[float] = []
+        #: Client requests served per executed batch (occupancy).
+        self.batch_sizes: List[int] = []
+        #: Batches whose occupancy was > 1 (actual merges).
+        self.merged_batches = 0
+        #: Engine supersteps spent, summed over executed batches.
+        self.supersteps = 0
+
+    # ------------------------------------------------------------------
+    def mark_started(self) -> None:
+        with self._lock:
+            self.started_at = time.perf_counter()
+            self.stopped_at = None
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self.stopped_at = time.perf_counter()
+
+    def record_request(self, algorithm: str, status: str, latency: Optional[float] = None) -> None:
+        if status not in STATUSES:
+            raise ValueError(f"unknown request status {status!r}")
+        with self._lock:
+            self.counts[status] += 1
+            per = self.per_algorithm.setdefault(
+                algorithm, {s: 0 for s in STATUSES}
+            )
+            per[status] += 1
+            if latency is not None and status in ("ok", "cache_hit"):
+                self.latencies.append(latency)
+
+    def record_batch(self, occupancy: int, supersteps: int = 0) -> None:
+        with self._lock:
+            self.batch_sizes.append(int(occupancy))
+            if occupancy > 1:
+                self.merged_batches += 1
+            self.supersteps += int(supersteps)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self.counts["ok"] + self.counts["cache_hit"]
+
+    @property
+    def rejected(self) -> int:
+        return self.counts["rejected_queue_full"] + self.counts["rejected_deadline"]
+
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        return max(end - self.started_at, 0.0)
+
+    def snapshot(self, cache_stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One JSON-friendly dict with every headline number."""
+        with self._lock:
+            latencies = sorted(self.latencies)
+            batch_sizes = list(self.batch_sizes)
+            counts = dict(self.counts)
+            per_algorithm = {a: dict(c) for a, c in self.per_algorithm.items()}
+            merged = self.merged_batches
+            supersteps = self.supersteps
+        elapsed = self.elapsed()
+        completed = counts["ok"] + counts["cache_hit"]
+        snap: Dict[str, Any] = {
+            "elapsed_s": round(elapsed, 6),
+            "completed": completed,
+            "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
+            "latency_ms": {
+                "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+                "p90": round(percentile(latencies, 0.90) * 1e3, 3),
+                "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+                "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+                "mean": round(sum(latencies) / len(latencies) * 1e3, 3)
+                if latencies else 0.0,
+            },
+            "requests": counts,
+            "per_algorithm": per_algorithm,
+            "batches": {
+                "executed": len(batch_sizes),
+                "merged": merged,
+                "occupancy_mean": round(sum(batch_sizes) / len(batch_sizes), 3)
+                if batch_sizes else 0.0,
+                "occupancy_max": max(batch_sizes) if batch_sizes else 0,
+            },
+            "engine_supersteps": supersteps,
+        }
+        if cache_stats is not None:
+            snap["cache"] = cache_stats
+        return snap

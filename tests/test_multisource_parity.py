@@ -1,0 +1,119 @@
+"""Batched multi-source runs must be value-identical to k independent
+single-source runs (PR-6 satellite: the parity guarantee the request
+batcher relies on).
+
+BFS and SSSP parity is exact (integer hop counts; min-folded float path
+sums reach the same least fixpoint).  PPR parity is *bitwise*: with a
+fixed iteration count and the dense pull kernel folding in-sources in
+sorted order, the per-query float operation sequence is identical to the
+single-query run with ``tolerance=0.0``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import algorithms as A
+from repro.core.engine import FlashEngine
+from repro.errors import InvalidRequestError
+from repro.graph.generators import (
+    random_graph,
+    road_network,
+    social_network,
+    web_graph,
+)
+from repro.serving import multi_bfs, multi_ppr, multi_sssp, top_k
+
+GRAPHS = {
+    "social": lambda: social_network(num_vertices=120, seed=5),
+    "road": lambda: road_network(12, 12, seed=5),
+    "web": lambda: web_graph(num_vertices=120, seed=5),
+    "random": lambda: random_graph(num_vertices=100, num_edges=400, seed=5),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS), ids=sorted(GRAPHS))
+def engine(request):
+    with FlashEngine(GRAPHS[request.param](), num_workers=2) as eng:
+        yield eng
+
+
+def _fresh_single(engine, algo, **kwargs):
+    """Run a single-source algorithm on the shared engine and clean up
+    the properties it leaves behind."""
+    result = algo(engine, **kwargs)
+    for prop in list(engine.flashware.state.property_names):
+        engine.drop_property(prop)
+    return list(result.values)
+
+
+SOURCES = [0, 3, 17, 3, 55]  # includes a duplicate
+
+
+def test_multi_bfs_matches_independent_runs(engine):
+    merged = multi_bfs(engine, SOURCES)
+    assert len(merged) == len(SOURCES)
+    for source, column in zip(SOURCES, merged):
+        assert column == _fresh_single(engine, A.bfs, root=source), source
+
+
+def test_multi_sssp_matches_independent_runs(engine):
+    merged = multi_sssp(engine, SOURCES)
+    for source, column in zip(SOURCES, merged):
+        assert column == _fresh_single(engine, A.sssp, root=source), source
+
+
+def test_multi_ppr_matches_independent_runs(engine):
+    seed_sets = [(0,), (3, 17), (1, 2, 3)]
+    merged = multi_ppr(engine, seed_sets, damping=0.85, iters=8)
+    for seeds, column in zip(seed_sets, merged):
+        single = _fresh_single(
+            engine,
+            A.personalized_pagerank,
+            seeds=seeds,
+            damping=0.85,
+            max_iters=8,
+            tolerance=0.0,
+        )
+        assert column == single, seeds  # bitwise, not approximate
+
+
+def test_multi_single_source_degenerate():
+    with FlashEngine(social_network(num_vertices=60, seed=1), num_workers=2) as eng:
+        [merged] = multi_bfs(eng, [7])
+        assert merged == _fresh_single(eng, A.bfs, root=7)
+
+
+def test_duplicate_sources_share_columns():
+    with FlashEngine(social_network(num_vertices=60, seed=2), num_workers=2) as eng:
+        a, b, c = multi_bfs(eng, [9, 4, 9])
+        assert a == c
+        assert a[9] == 0 and b[4] == 0
+
+
+def test_scratch_properties_are_dropped():
+    with FlashEngine(social_network(num_vertices=60, seed=3), num_workers=2) as eng:
+        before = set(eng.flashware.state.property_names)
+        multi_bfs(eng, [0, 1])
+        multi_sssp(eng, [2])
+        multi_ppr(eng, [(0,)], iters=2)
+        assert set(eng.flashware.state.property_names) == before
+
+
+def test_source_validation():
+    with FlashEngine(social_network(num_vertices=30, seed=4), num_workers=2) as eng:
+        with pytest.raises(InvalidRequestError):
+            multi_bfs(eng, [0, 30])
+        with pytest.raises(InvalidRequestError):
+            multi_bfs(eng, [-1])
+        with pytest.raises(InvalidRequestError):
+            multi_bfs(eng, [])
+        with pytest.raises(InvalidRequestError):
+            multi_ppr(eng, [])
+
+
+def test_top_k_deterministic_ties():
+    ranks = [0.5, 0.9, 0.5, 0.1]
+    assert top_k(ranks, 3) == [(1, 0.9), (0, 0.5), (2, 0.5)]
+    assert top_k(ranks, 0) == []
+    assert len(top_k(ranks, 10)) == 4
