@@ -392,7 +392,11 @@ def main(argv=None) -> int:
             metavar="PLAN",
             help="inject worker failures and recover automatically; e.g. "
                  "'4' (kill a worker at superstep 4), '4:1' (kill worker 1), "
-                 "'hazard=0.05,seed=7,max=2' (seeded hazard rate)",
+                 "'hazard=0.05,seed=7,max=2' (seeded hazard rate). "
+                 "Process-level chaos modes (require --executor mp): "
+                 "'kill@3:w1' (SIGKILL worker 1's OS process at superstep "
+                 "3), 'hang@2:w0' (worker stops replying), 'slow@1:w2' "
+                 "(worker delays every reply)",
         )
         p.add_argument(
             "--checkpoint-every",

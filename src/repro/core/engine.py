@@ -683,6 +683,15 @@ class FlashEngine:
         summarize = getattr(self.flashware, "dist_summary", None)
         return summarize() if summarize is not None else {}
 
+    def worker_health(self) -> List[Dict[str, Any]]:
+        """Per-rank process health of the worker pool (empty list on the
+        inline executor): rank, pid, alive, exitcode, and status in
+        ``running``/``exited``/``dead``."""
+        session = getattr(self.flashware, "session", None)
+        if session is None:
+            return []
+        return session.pool.supervisor.health()
+
     def close(self) -> None:
         """Release executor resources (worker-session teardown for
         ``executor='mp'``; a no-op inline).  Idempotent — safe to call

@@ -45,7 +45,24 @@ class StaleReadError(DistributedError):
 class WorkerCrashError(DistributedError):
     """A worker process died or stopped responding (this is a real
     process failure, unlike the *simulated* failures of
-    :mod:`repro.runtime.faults`)."""
+    :mod:`repro.runtime.faults`).
+
+    Structured fields let the recovery layer act on the diagnosis:
+
+    * ``worker`` — the rank of the crashed worker (``None`` when the
+      crash could not be pinned to one rank);
+    * ``exitcode`` — the dead process's exit code (negative = killed by
+      that signal, e.g. ``-9`` for SIGKILL; ``None`` when the process
+      was still alive — a hung worker — or the code is unknown);
+    * ``phase`` — what the driver was doing when the crash surfaced
+      (the wire op, e.g. ``"sparse_map"`` or ``"commit"``).
+    """
+
+    def __init__(self, message: str, worker=None, exitcode=None, phase=None):
+        super().__init__(message)
+        self.worker = worker
+        self.exitcode = exitcode
+        self.phase = phase
 
 
 class ServingError(ReproError):
@@ -74,3 +91,11 @@ class DeadlineExpiredError(ServingError):
 
 class ServerClosedError(ServingError):
     """The server is not running (never started, or already stopped)."""
+
+
+class EngineFailureError(ServingError):
+    """A pooled serving engine failed while executing a batch (its
+    worker processes crashed, or a chaos hook induced the failure).  The
+    server handles this internally — the failed engine is replaced and
+    the batch's requests are requeued once — so clients only ever see
+    this error if the retry fails too."""

@@ -64,6 +64,10 @@ class CostParams:
     checkpoint_bandwidth_bytes_per_sec: float = 6.25e8
     latency_per_checkpoint: float = 2e-6
     latency_per_restore: float = 2e-6
+    # Real-crash recovery: respawning a dead worker process pays a fixed
+    # coordination latency (process start + graph re-attach) plus the
+    # wire cost of re-shipping its state columns.
+    latency_per_respawn: float = 5e-6
 
 
 @dataclass
@@ -169,6 +173,12 @@ class CostModel:
                 rec.restore_values * p.bytes_per_value
                 / p.checkpoint_bandwidth_bytes_per_sec
                 + p.latency_per_restore
+            )
+        if rec.respawns or rec.reshipped_values:
+            recovery += (
+                rec.respawns * p.latency_per_respawn
+                + rec.reshipped_values * p.bytes_per_value
+                / p.bandwidth_bytes_per_sec
             )
         if rec.aborted or rec.replayed:
             # Work a failure-free run would not have spent: attribute the

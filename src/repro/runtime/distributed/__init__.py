@@ -19,3 +19,4 @@ from repro.runtime.distributed.executor import (  # noqa: F401
     get_pool,
     shutdown_pools,
 )
+from repro.runtime.distributed.supervisor import WorkerSupervisor  # noqa: F401

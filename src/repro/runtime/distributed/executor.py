@@ -30,11 +30,14 @@ import atexit
 import itertools
 import os
 import pickle
+import signal as _signal
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.edgeset import BaseEdges, EdgeSet
-from repro.errors import DistributedError, WorkerCrashError
+from repro.errors import DistributedError, FlashUsageError, WorkerCrashError
 from repro.runtime.distributed import shipping
+from repro.runtime.distributed.supervisor import WorkerSupervisor
 from repro.runtime.flashware import Flashware
 from repro.runtime.metrics import SuperstepRecord
 from repro.runtime.state import VertexState
@@ -56,40 +59,116 @@ class WorkerPool:
 
         self.nworkers = nworkers
         method = os.environ.get("REPRO_MP_START", "spawn")
-        ctx = mp.get_context(method)
-        self._conns = []
-        self._procs = []
+        self._ctx = mp.get_context(method)
+        self._conns: List[Any] = [None] * nworkers
+        self._procs: List[Any] = [None] * nworkers
         self.bytes_sent = 0
         self.bytes_recv = 0
         self.messages_sent = 0
         self.messages_recv = 0
-        self._graphs: Dict[int, List[Any]] = {}  # id(graph) -> [token, graph, refs, shm]
+        # id(graph) -> [token, graph, refs, shm, meta]; ``meta`` is kept so
+        # a respawned worker can re-attach to the still-live shm segment.
+        self._graphs: Dict[int, List[Any]] = {}
         self._next_token = itertools.count(1)
-        self._dead = False
-        from repro.runtime.distributed.worker import worker_main
-
+        self._dead = False  # whole-pool shutdown (not a single crash)
+        self._dead_ranks: Set[int] = set()  # crashed ranks awaiting respawn
+        #: Open sessions by sid — the supervisor re-opens each of them on
+        #: a respawned worker.
+        self.sessions: Dict[int, "DistSession"] = {}
+        self.supervisor = WorkerSupervisor(self)
+        # Respawn accounting (charged by the recovery layer).
+        self.respawns = 0
+        self.respawn_wall_s = 0.0
+        self.bytes_reshipped = 0
         for rank in range(nworkers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=worker_main,
-                args=(rank, child_conn),
-                name=f"repro-worker-{rank}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn(rank)
         self.broadcast("ping", -1, None)
 
     # ------------------------------------------------------------------
-    def _send(self, rank: int, op: str, sid: int, payload: Any, tracer=None) -> None:
+    def _spawn(self, rank: int) -> None:
+        """Start (or restart) the worker process for ``rank`` with a
+        fresh duplex pipe."""
+        from repro.runtime.distributed.worker import worker_main
+
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(rank, child_conn),
+            name=f"repro-worker-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = proc
+
+    def _reap(self, rank: int) -> None:
+        """Tear down the dead worker's process and pipe (idempotent)."""
+        proc = self._procs[rank]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+        conn = self._conns[rank]
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _mark_crashed(self, rank: int, op: str, hung: bool = False) -> WorkerCrashError:
+        """Record ``rank`` as dead and build the structured crash error
+        (returned, not raised, so callers control chaining).  A hung
+        worker is killed so the pipe state is unambiguous."""
+        self._dead_ranks.add(rank)
+        proc = self._procs[rank]
+        if hung and proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+        exitcode = proc.exitcode if proc is not None else None
+        if hung:
+            diagnosis = f"stopped responding (timeout {_reply_timeout()}s; killed)"
+        elif exitcode is not None and exitcode < 0:
+            try:
+                sig = _signal.Signals(-exitcode).name
+            except ValueError:
+                sig = str(-exitcode)
+            diagnosis = f"died (killed by {sig})"
+        elif exitcode is not None:
+            diagnosis = f"died (exit code {exitcode})"
+        else:
+            diagnosis = "pipe closed"
+        return WorkerCrashError(
+            f"worker {rank} {diagnosis} during {op!r}",
+            worker=rank,
+            exitcode=exitcode,
+            phase=op,
+        )
+
+    def _send(
+        self, rank: int, op: str, sid: int, payload: Any, tracer=None, heal: bool = True
+    ) -> None:
+        if rank in self._dead_ranks:
+            if not heal:
+                raise WorkerCrashError(
+                    f"worker {rank} is dead; cannot send {op!r}",
+                    worker=rank,
+                    phase=op,
+                )
+            # Lazy heal: a send to a known-dead rank respawns it first
+            # (the between-superstep path goes through supervisor.heal()).
+            self.supervisor.respawn(rank, tracer)
         blob = pickle.dumps((op, sid, payload), protocol=pickle.HIGHEST_PROTOCOL)
-        try:
-            self._conns[rank].send_bytes(blob)
-        except (BrokenPipeError, OSError) as exc:
-            self._dead = True
-            raise WorkerCrashError(f"worker {rank} pipe closed during {op!r}") from exc
+        delays = self.supervisor.backoff_delays()
+        for attempt in range(len(delays) + 1):
+            try:
+                self._conns[rank].send_bytes(blob)
+                break
+            except OSError as exc:
+                if self.supervisor.is_transient(exc) and attempt < len(delays):
+                    time.sleep(delays[attempt])
+                    continue
+                raise self._mark_crashed(rank, op) from exc
         self.bytes_sent += len(blob)
         self.messages_sent += 1
         if tracer is not None and tracer.enabled:
@@ -97,18 +176,22 @@ class WorkerPool:
 
     def _recv(self, rank: int, op: str, tracer=None) -> Any:
         conn = self._conns[rank]
-        if not conn.poll(_reply_timeout()):
-            self._dead = True
-            alive = self._procs[rank].is_alive()
-            raise WorkerCrashError(
-                f"worker {rank} {'stopped responding' if alive else 'died'} "
-                f"during {op!r} (timeout {_reply_timeout()}s)"
-            )
+        proc = self._procs[rank]
+        deadline = time.monotonic() + _reply_timeout()
+        wait = 0.02
+        while not conn.poll(min(wait, max(deadline - time.monotonic(), 0.0))):
+            if not proc.is_alive() and not conn.poll(0):
+                # Early death detection: the exit code is decisive, no
+                # need to wait out the reply timeout.  The extra poll(0)
+                # catches a final reply racing the process exit.
+                raise self._mark_crashed(rank, op)
+            if time.monotonic() >= deadline:
+                raise self._mark_crashed(rank, op, hung=proc.is_alive())
+            wait = min(wait * 2, 0.5)
         try:
             blob = conn.recv_bytes()
         except (EOFError, OSError) as exc:
-            self._dead = True
-            raise WorkerCrashError(f"worker {rank} died during {op!r}") from exc
+            raise self._mark_crashed(rank, op) from exc
         self.bytes_recv += len(blob)
         self.messages_recv += 1
         if tracer is not None and tracer.enabled:
@@ -117,31 +200,82 @@ class WorkerPool:
         if reply[0] == "ok":
             return reply[1]
         _status, name, exc_blob, tb = reply
+        raise self._rebuild_exception(rank, op, name, exc_blob, tb)
+
+    @staticmethod
+    def _rebuild_exception(
+        rank: int, op: str, name: str, exc_blob: Optional[bytes], tb: str
+    ) -> BaseException:
+        """Reconstruct a worker-raised exception from its error reply.
+
+        If the pickled exception round-trips it is re-raised as-is;
+        otherwise (unpicklable exception class, or the blob deserializes
+        to something else entirely) the fallback is a
+        :class:`DistributedError` carrying the worker's formatted
+        traceback.  Either way the original traceback text survives on
+        ``worker_traceback``."""
+        original: Optional[BaseException] = None
         if exc_blob is not None:
             try:
-                raise pickle.loads(exc_blob)
-            except DistributedError:
-                raise
-            except Exception as exc:
-                if type(exc).__name__ == name:
-                    raise
-                # the exception itself failed to round-trip
-        raise DistributedError(f"worker {rank} raised {name} during {op!r}:\n{tb}")
+                loaded = pickle.loads(exc_blob)
+            except Exception:
+                loaded = None
+            if isinstance(loaded, BaseException):
+                original = loaded
+        if original is not None and (
+            isinstance(original, DistributedError) or type(original).__name__ == name
+        ):
+            original.worker_traceback = tb
+            return original
+        err = DistributedError(f"worker {rank} raised {name} during {op!r}:\n{tb}")
+        err.worker_traceback = tb
+        if original is not None:
+            err.__cause__ = original
+        return err
+
+    def request_one(
+        self, rank: int, op: str, sid: int, payload: Any, tracer=None, heal: bool = True
+    ) -> Any:
+        """One request/reply round-trip with a single worker."""
+        self._send(rank, op, sid, payload, tracer, heal=heal)
+        return self._recv(rank, op, tracer)
 
     def request_many(
         self, items: Sequence[Tuple[int, str, int, Any]], tracer=None
     ) -> List[Any]:
         """Send all requests, then collect all replies (in order).  Every
-        reply is drained even when one raises, keeping the pipes clean."""
-        for rank, op, sid, payload in items:
-            self._send(rank, op, sid, payload, tracer)
-        replies: List[Any] = []
+        reply that *can* be drained is drained even when one raises —
+        including when a worker crashes: the surviving workers' pipes
+        stay clean, so the pool remains usable after a single-worker
+        failure (the recovery layer respawns the dead rank)."""
         first_error: Optional[BaseException] = None
-        for rank, op, _sid, _payload in items:
+        crashed: Set[int] = set()
+        sent: List[bool] = []
+        for rank, op, sid, payload in items:
+            if rank in crashed:
+                sent.append(False)
+                continue
+            try:
+                self._send(rank, op, sid, payload, tracer)
+            except WorkerCrashError as exc:
+                crashed.add(rank)
+                sent.append(False)
+                if first_error is None:
+                    first_error = exc
+            else:
+                sent.append(True)
+        replies: List[Any] = []
+        for was_sent, (rank, op, _sid, _payload) in zip(sent, items):
+            if not was_sent or rank in crashed:
+                replies.append(None)
+                continue
             try:
                 replies.append(self._recv(rank, op, tracer))
-            except WorkerCrashError:
-                raise  # pipes are broken anyway, nothing left to drain
+            except WorkerCrashError as exc:
+                crashed.add(rank)
+                replies.append(None)
+                if first_error is None:
+                    first_error = exc
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 replies.append(None)
                 if first_error is None:
@@ -166,7 +300,7 @@ class WorkerPool:
         token = next(self._next_token)
         meta, shm = shipping.export_graph(graph)
         self.broadcast("put_graph", -1, (token, meta))
-        self._graphs[id(graph)] = [token, graph, 1, shm]
+        self._graphs[id(graph)] = [token, graph, 1, shm, meta]
         return token
 
     def release_graph(self, graph) -> None:
@@ -178,8 +312,13 @@ class WorkerPool:
             return
         del self._graphs[id(graph)]
         if not self._dead:
+            live = [
+                (rank, "drop_graph", -1, entry[0])
+                for rank in range(self.nworkers)
+                if rank not in self._dead_ranks
+            ]
             try:
-                self.broadcast("drop_graph", -1, entry[0])
+                self.request_many(live)
             except DistributedError:
                 pass
         self._unlink(entry[3])
@@ -195,17 +334,21 @@ class WorkerPool:
             pass
 
     def shutdown(self) -> None:
-        for rank, conn in enumerate(self._conns):
+        for rank in range(self.nworkers):
             try:
-                self._send(rank, "stop", -1, None)
+                self._send(rank, "stop", -1, None, heal=False)
             except Exception:
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=2)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except Exception:
@@ -213,6 +356,7 @@ class WorkerPool:
         for entry in self._graphs.values():
             self._unlink(entry[3])
         self._graphs.clear()
+        self.sessions.clear()
         self._dead = True
 
 
@@ -257,17 +401,16 @@ class DistSession:
         self.owners = fw.partition.owners()
         self.members = [fw.partition.members(p).tolist() for p in range(self.nworkers)]
         self.token = pool.acquire_graph(fw.graph)
-        pool.broadcast(
-            "open",
-            self.sid,
-            {
-                "graph_token": self.token,
-                "nworkers": self.nworkers,
-                "partition_strategy": partition_strategy,
-                "sync_critical_only": fw.options.sync_critical_only,
-            },
-        )
+        self._open_payload = {
+            "graph_token": self.token,
+            "nworkers": self.nworkers,
+            "partition_strategy": partition_strategy,
+            "sync_critical_only": fw.options.sync_critical_only,
+        }
+        pool.broadcast("open", self.sid, self._open_payload)
+        pool.sessions[self.sid] = self
         self.closed = False
+        self._slowed: Set[int] = set()  # ranks under ``slow`` chaos
         #: Per-committed-superstep real-traffic log (mirrors metrics.records).
         self.per_superstep: List[Dict[str, Any]] = []
         self._step: Optional[Dict[str, int]] = None
@@ -279,6 +422,8 @@ class DistSession:
             "reduce_entries": 0,
             "temp_entries": 0,
             "bootstrap_columns": 0,
+            "reshipped_columns": 0,
+            "reshipped_values": 0,
             "worker_cpu_s": 0.0,
             "critical_path_s": 0.0,
         }
@@ -355,6 +500,9 @@ class DistSession:
         out["bytes_recv"] = self.pool.bytes_recv
         out["messages_sent"] = self.pool.messages_sent
         out["messages_recv"] = self.pool.messages_recv
+        out["respawns"] = self.pool.respawns
+        out["respawn_wall_s"] = round(self.pool.respawn_wall_s, 6)
+        out["bytes_reshipped"] = self.pool.bytes_reshipped
         out["per_superstep"] = list(self.per_superstep)
         return out
 
@@ -386,13 +534,90 @@ class DistSession:
     def reset(self) -> None:
         self._broadcast("reset", None)
 
+    # -- crash recovery / chaos ------------------------------------------
+    def reopen_worker(self, rank: int, tracer=None) -> Tuple[int, int]:
+        """Rebuild this session on a freshly respawned worker ``rank``:
+        re-open the session and re-ship the driver's authoritative
+        property columns plus the critical set.  Returns the re-shipped
+        (values, columns) for the recovery accounting.  Worker-side
+        snapshots died with the old process; a later ``restore`` reports
+        them missing and the driver back-fills (the checkpoint store's
+        existing fallback)."""
+        span = (
+            tracer.start("recovery.restore", "recovery", rank=rank, sid=self.sid)
+            if tracer is not None and tracer.enabled
+            else None
+        )
+        pool = self.pool
+        pool.request_one(rank, "open", self.sid, self._open_payload, tracer, heal=False)
+        fw = self.fw
+        values = 0
+        columns = 0
+        for name in list(fw.state.property_names):
+            column = list(fw.state.column(name))
+            pool.request_one(
+                rank, "set_column", self.sid, (name, column), tracer, heal=False
+            )
+            values += len(column)
+            columns += 1
+        critical = sorted(fw._critical)
+        if critical:
+            pool.request_one(
+                rank, "mark_critical", self.sid, critical, tracer, heal=False
+            )
+        self._slowed.discard(rank)
+        self.totals["reshipped_columns"] += columns
+        self.totals["reshipped_values"] += values
+        if span is not None:
+            span.end(values=values, columns=columns)
+        return values, columns
+
+    def inject_fault(self, worker: int, mode: str) -> None:
+        """Inflict a process-level chaos fault on ``worker`` (driven by
+        the ``--faults`` plan): ``kill`` SIGKILLs the OS process,
+        ``hang`` makes it stop replying, ``slow`` delays its replies.
+        Chaos messages are fire-and-forget (no reply), so the crash
+        surfaces later through the pool's normal detection machinery."""
+        pool = self.pool
+        if not 0 <= worker < self.nworkers:
+            raise FlashUsageError(
+                f"fault worker {worker} out of range (pool has {self.nworkers})"
+            )
+        if mode == "kill":
+            proc = pool._procs[worker]
+            if proc is not None and proc.is_alive():
+                os.kill(proc.pid, _signal.SIGKILL)
+                proc.join(timeout=5)
+        elif mode == "hang":
+            pool._send(worker, "chaos", self.sid, ("hang", None), self.tracer)
+        elif mode == "slow":
+            delay = float(os.environ.get("REPRO_CHAOS_SLOW_S", "0.2"))
+            pool._send(worker, "chaos", self.sid, ("slow", delay), self.tracer)
+            self._slowed.add(worker)
+        else:  # pragma: no cover - parse() already validates
+            raise FlashUsageError(f"unknown process fault mode {mode!r}")
+
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
+        self.pool.sessions.pop(self.sid, None)
         if not self.pool._dead:
+            for rank in sorted(self._slowed - self.pool._dead_ranks):
+                try:
+                    self.pool._send(
+                        rank, "chaos", self.sid, ("slow", 0.0), heal=False
+                    )
+                except Exception:
+                    pass
+            self._slowed.clear()
+            live = [
+                (rank, "close", self.sid, None)
+                for rank in range(self.nworkers)
+                if rank not in self.pool._dead_ranks
+            ]
             try:
-                self._broadcast("close", None)
+                self.pool.request_many(live, self.tracer)
             except DistributedError:
                 pass
         self.pool.release_graph(self.graph)
@@ -668,8 +893,35 @@ class DistributedFlashware(Flashware):
         session = self.session
         if session is None:
             return
-        session.distribute_commits(commits, broadcast_all)
+        try:
+            session.distribute_commits(commits, broadcast_all)
+        except BaseException:
+            # A crash inside the physical barrier (e.g. a SIGKILLed
+            # worker surfacing during commit distribution) must leave the
+            # lifecycle clean: abort the in-flight record so recovery can
+            # roll back and replay.
+            self.abort_superstep()
+            raise
         session.finish_step(rec)
+
+    def _apply_process_faults(self, faults) -> None:
+        session = self.session
+        if session is None:  # pragma: no cover - session always set in mp runs
+            super()._apply_process_faults(faults)
+            return
+        for worker, mode in faults:
+            session.inject_fault(worker, mode)
+
+    def heal_workers(self) -> Dict[str, Any]:
+        """Heartbeat the pool and respawn every dead worker, rebuilding
+        their graph views and session state; returns the respawn report
+        the recovery layer charges (``respawned``/``wall_s``/``bytes``/
+        ``values``/``columns``)."""
+        session = self.session
+        if session is None:
+            return {"respawned": [], "wall_s": 0.0, "bytes": 0, "values": 0,
+                    "columns": 0}
+        return session.pool.supervisor.heal(self.tracer)
 
     def barrier_columnar(self, *args, **kwargs):
         raise RuntimeError(

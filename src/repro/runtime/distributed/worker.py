@@ -435,7 +435,13 @@ def worker_main(rank: int, conn) -> None:
     serializes/deserializes explicitly so it can count bytes)."""
     import pickle
 
+    # Chaos state (driven by the fire-and-forget "chaos" op): a reply
+    # delay in seconds simulating a slow pipe.
+    delay_box = [0.0]
+
     def reply(msg: Tuple) -> None:
+        if delay_box[0] > 0.0:
+            time.sleep(delay_box[0])
         conn.send_bytes(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
 
     sessions: Dict[int, WorkerSession] = {}
@@ -445,6 +451,16 @@ def worker_main(rank: int, conn) -> None:
             op, sid, payload = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             break
+        if op == "chaos":
+            # Fire-and-forget fault injection: never replied to, so the
+            # driver's request/reply bookkeeping is untouched.
+            kind, value = payload
+            if kind == "hang":
+                while True:
+                    time.sleep(3600)
+            elif kind == "slow":
+                delay_box[0] = float(value)
+            continue
         try:
             if op == "stop":
                 reply(("ok", None))

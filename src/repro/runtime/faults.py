@@ -35,6 +35,20 @@ from repro.errors import ReproError
 
 PHASES = ("begin", "barrier")
 
+#: Fault delivery modes.  ``sim`` is the original single-process
+#: simulation (raises :class:`WorkerFailure` from inside the superstep
+#: lifecycle).  The other three are *process-level* chaos modes that act
+#: on the real worker processes of ``executor="mp"`` runs:
+#:
+#: * ``kill`` — SIGKILL the worker's OS process (true death; detected by
+#:   exit-code inspection and recovered by respawn + rollback);
+#: * ``hang`` — the worker stops replying but stays alive (detected by
+#:   reply timeout; the supervisor kills and respawns it);
+#: * ``slow`` — the worker delays every reply (a transient slow pipe the
+#:   driver's bounded retry must survive *without* declaring death).
+MODES = ("sim", "kill", "hang", "slow")
+PROCESS_MODES = ("kill", "hang", "slow")
+
 
 class FaultError(ReproError):
     """Base class for fault-injection errors."""
@@ -60,21 +74,34 @@ class WorkerFailure(FaultError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled kill: ``worker`` dies at superstep ``superstep``.
+    """One scheduled fault: ``worker`` fails at superstep ``superstep``.
 
     ``worker=None`` picks ``superstep % num_workers`` at fire time, so a
-    plan can be written without knowing the worker count.
+    plan can be written without knowing the worker count.  ``mode`` is
+    one of :data:`MODES`; process-level modes always fire at the
+    ``begin`` phase (the driver injects the fault before distributing
+    the superstep's work, so the loss surfaces mid-superstep exactly
+    like a real mid-run death).
     """
 
     superstep: int
     worker: Optional[int] = None
     phase: str = "barrier"
+    mode: str = "sim"
 
     def __post_init__(self) -> None:
         if self.superstep < 0:
             raise ValueError("fault superstep must be >= 0")
         if self.phase not in PHASES:
             raise ValueError(f"fault phase must be one of {PHASES}")
+        if self.mode not in MODES:
+            raise ValueError(f"fault mode must be one of {MODES}")
+        if self.mode in PROCESS_MODES and self.phase != "begin":
+            object.__setattr__(self, "phase", "begin")
+
+    @property
+    def is_process(self) -> bool:
+        return self.mode in PROCESS_MODES
 
 
 @dataclass(frozen=True)
@@ -100,11 +127,27 @@ class FaultPlan:
         if self.max_hazard_failures < 0:
             raise ValueError("max_hazard_failures must be >= 0")
 
+    # -- inspection ----------------------------------------------------
+    @property
+    def process_faults(self) -> Tuple[FaultSpec, ...]:
+        """The process-level (kill/hang/slow) specs of this plan."""
+        return tuple(f for f in self.faults if f.is_process)
+
+    @property
+    def has_process_faults(self) -> bool:
+        """Whether any spec needs real worker processes (``executor="mp"``)."""
+        return any(f.is_process for f in self.faults)
+
     # -- constructors --------------------------------------------------
     @staticmethod
-    def at(superstep: int, worker: Optional[int] = None, phase: str = "barrier") -> "FaultPlan":
-        """A plan with a single pinned kill."""
-        return FaultPlan(faults=(FaultSpec(superstep, worker, phase),))
+    def at(
+        superstep: int,
+        worker: Optional[int] = None,
+        phase: str = "barrier",
+        mode: str = "sim",
+    ) -> "FaultPlan":
+        """A plan with a single pinned fault."""
+        return FaultPlan(faults=(FaultSpec(superstep, worker, phase, mode),))
 
     @staticmethod
     def hazard_rate(rate: float, seed: int = 0, max_failures: int = 1) -> "FaultPlan":
@@ -118,21 +161,52 @@ class FaultPlan:
 
         Comma-separated entries; each entry is either
 
-        * ``SUPERSTEP`` or ``SUPERSTEP:WORKER`` — a pinned kill, or
+        * ``SUPERSTEP`` or ``SUPERSTEP:WORKER`` — a pinned *simulated*
+          kill,
+        * ``MODE@SUPERSTEP`` or ``MODE@SUPERSTEP:wWORKER`` (the ``w``
+          prefix is optional) with ``MODE`` in ``kill``/``hang``/``slow``
+          — a *process-level* fault against a real mp worker, or
         * ``hazard=RATE`` / ``seed=S`` / ``max=N`` — hazard-mode knobs.
 
         Examples: ``"4"``, ``"4:1"``, ``"3:0,9:2"``,
-        ``"hazard=0.05,seed=7,max=2"``.
+        ``"hazard=0.05,seed=7,max=2"``, ``"kill@3:w1"``,
+        ``"hang@2:w0,kill@5:w2"``.
         """
         faults: List[FaultSpec] = []
         hazard = 0.0
         seed = 0
         max_failures = 1
+
+        def _worker(text: str, entry: str) -> int:
+            text = text.strip()
+            if text.startswith("w"):
+                text = text[1:]
+            if not text.isdigit():
+                raise ValueError(f"bad worker in fault entry {entry!r}")
+            return int(text)
+
         for raw in spec.split(","):
             entry = raw.strip()
             if not entry:
                 continue
-            if "=" in entry:
+            if "@" in entry:
+                mode, _, rest = entry.partition("@")
+                mode = mode.strip()
+                if mode not in PROCESS_MODES:
+                    raise ValueError(
+                        f"unknown fault mode {mode!r} in {spec!r}: expected "
+                        f"one of {PROCESS_MODES}"
+                    )
+                step, sep, worker = rest.partition(":")
+                faults.append(
+                    FaultSpec(
+                        int(step),
+                        _worker(worker, entry) if sep else None,
+                        phase="begin",
+                        mode=mode,
+                    )
+                )
+            elif "=" in entry:
                 key, _, value = entry.partition("=")
                 key = key.strip()
                 if key == "hazard":
@@ -160,7 +234,11 @@ class FaultPlan:
         return FaultInjector(self)
 
     def describe(self) -> str:
-        parts = [f"s{f.superstep}:w{'auto' if f.worker is None else f.worker}" for f in self.faults]
+        parts = [
+            (f"{f.mode}@" if f.is_process else "")
+            + f"s{f.superstep}:w{'auto' if f.worker is None else f.worker}"
+            for f in self.faults
+        ]
         if self.hazard:
             parts.append(f"hazard={self.hazard}@seed={self.seed}")
         return ",".join(parts) or "none"
@@ -182,6 +260,8 @@ class FaultInjector:
         self._rng = random.Random(plan.seed)
         self._hazard_fired = 0
         self.fired: List[WorkerFailure] = []
+        #: Process-level faults already inflicted: (worker, superstep, mode).
+        self.fired_process: List[Tuple[int, int, str]] = []
 
     @property
     def exhausted(self) -> bool:
@@ -191,10 +271,29 @@ class FaultInjector:
             or self._hazard_fired >= self.plan.max_hazard_failures
         )
 
+    def poll_process(
+        self, superstep: int, phase: str, num_workers: int
+    ) -> List[Tuple[int, str]]:
+        """Process-level faults (kill/hang/slow) due at this
+        (superstep, phase), as ``(worker, mode)`` pairs — each fires at
+        most once.  The caller (the distributed FLASHWARE) inflicts them
+        on the real worker processes; nothing is raised here, the crash
+        then surfaces through the pool's own detection machinery."""
+        due: List[Tuple[int, str]] = []
+        for spec in list(self._pending):
+            if spec.is_process and spec.superstep == superstep and spec.phase == phase:
+                self._pending.remove(spec)
+                worker = spec.worker if spec.worker is not None else superstep % num_workers
+                self.fired_process.append((worker, superstep, spec.mode))
+                due.append((worker, spec.mode))
+        return due
+
     def poll(self, superstep: int, phase: str, num_workers: int) -> None:
         """Raise :class:`WorkerFailure` if the plan kills a worker at
         this (superstep, phase); otherwise return."""
-        for spec in self._pending:
+        for spec in list(self._pending):
+            if spec.is_process:
+                continue
             if spec.superstep == superstep and spec.phase == phase:
                 self._pending.remove(spec)
                 worker = spec.worker if spec.worker is not None else superstep % num_workers

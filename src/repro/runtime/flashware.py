@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, 
 
 import numpy as np
 
+from repro.errors import FlashUsageError
 from repro.graph.graph import Graph
 from repro.graph.partition import PartitionMap, partition_graph
 from repro.runtime.faults import FaultInjector, WorkerFailure
@@ -228,17 +229,33 @@ class Flashware:
         span.end(**args)
 
     def _poll_faults(self, phase: str) -> None:
-        """Give the fault injector a chance to kill a worker.  A failure
-        aborts the in-flight superstep (nothing committed, BSP
-        all-or-nothing) and propagates as :class:`WorkerFailure`."""
+        """Give the fault injector a chance to kill a worker.  A
+        simulated failure aborts the in-flight superstep (nothing
+        committed, BSP all-or-nothing) and propagates as
+        :class:`WorkerFailure`; process-level faults (kill/hang/slow) are
+        inflicted on the real worker processes and surface later through
+        the pool's crash detection."""
         injector = self.fault_injector
         if injector is None or self.in_fast_forward:
             return
+        procs = injector.poll_process(
+            self.superstep_seq, phase, self.partition.num_partitions
+        )
+        if procs:
+            self._apply_process_faults(procs)
         try:
             injector.poll(self.superstep_seq, phase, self.partition.num_partitions)
         except WorkerFailure:
             self.abort_superstep()
             raise
+
+    def _apply_process_faults(self, faults) -> None:
+        """Inflict process-level chaos faults; only the distributed
+        FLASHWARE has real worker processes to hurt."""
+        raise FlashUsageError(
+            "process-level faults (kill/hang/slow) need real worker "
+            "processes; run with executor='mp'"
+        )
 
     def _finish_commit(self, rec: SuperstepRecord) -> None:
         """Close a committed superstep: advance the logical clock and run

@@ -49,6 +49,8 @@ class SuperstepRecord:
     checkpoints: int = 0  # snapshots written at this superstep's boundary
     checkpoint_values: int = 0  # property values those snapshots carried
     restore_values: int = 0  # checkpoint values read back during recovery
+    respawns: int = 0  # worker processes respawned after a real crash
+    reshipped_values: int = 0  # property values re-shipped to respawned workers
 
     @property
     def total_ops(self) -> int:
@@ -203,6 +205,14 @@ class Metrics:
     def total_restore_values(self) -> int:
         return sum(r.restore_values for r in self.records)
 
+    @property
+    def total_respawns(self) -> int:
+        return sum(r.respawns for r in self.records)
+
+    @property
+    def total_reshipped_values(self) -> int:
+        return sum(r.reshipped_values for r in self.records)
+
     def summary(self) -> Dict[str, int]:
         """A dict of headline totals (handy for asserts and reports),
         including the reduce/sync split of §IV-A, the EDGEMAP
@@ -223,6 +233,8 @@ class Metrics:
             "checkpoints": self.checkpoints_written,
             "checkpoint_values": self.total_checkpoint_values,
             "restore_values": self.total_restore_values,
+            "respawns": self.total_respawns,
+            "reshipped_values": self.total_reshipped_values,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -50,7 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerCrashError
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostModel
 from repro.runtime.faults import FaultInjector, FaultPlan, WorkerFailure
@@ -405,6 +405,12 @@ class RecoveryStats:
     restore_values: int = 0
     replayed_supersteps: int = 0
     aborted_supersteps: int = 0
+    # Real-crash (process-level) recovery accounting.
+    process_crashes: int = 0  # WorkerCrashError failures (vs simulated)
+    respawns: int = 0  # worker processes respawned
+    respawn_wall_s: float = 0.0  # wall time spent respawning + re-shipping
+    reshipped_values: int = 0  # property values re-shipped to fresh workers
+    reshipped_bytes: int = 0  # wire bytes of the respawn re-ship
     failure_log: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -418,6 +424,11 @@ class RecoveryStats:
             "restore_values": self.restore_values,
             "replayed_supersteps": self.replayed_supersteps,
             "aborted_supersteps": self.aborted_supersteps,
+            "process_crashes": self.process_crashes,
+            "respawns": self.respawns,
+            "respawn_wall_s": round(self.respawn_wall_s, 6),
+            "reshipped_values": self.reshipped_values,
+            "reshipped_bytes": self.reshipped_bytes,
             "failure_log": list(self.failure_log),
         }
 
@@ -496,12 +507,18 @@ class RecoveryManager:
                 span.end(volume=volume)
 
     # -- rollback -------------------------------------------------------
-    def _rollback(self, fw: Flashware, failure: WorkerFailure) -> None:
+    def _rollback(
+        self,
+        fw: Flashware,
+        failure: WorkerFailure,
+        respawn_report: Optional[Dict[str, Any]] = None,
+    ) -> None:
         failed_seq = fw.superstep_seq
+        worker = getattr(failure, "worker", None)
         span = (
             fw.tracer.start(
                 "rollback", "recovery",
-                failed_seq=failed_seq, worker=failure.worker,
+                failed_seq=failed_seq, worker=worker,
             )
             if fw.tracer.enabled
             else None
@@ -510,13 +527,18 @@ class RecoveryManager:
         found = self.store.latest_valid()
         self.stats.corrupt_checkpoints += known - len(self.store.seqs())
         # Charge the rollback: one synthetic record carrying the restore
-        # traffic (checkpoint read back over the wire), attributed to the
-        # recovery component of the cost model.
+        # traffic (checkpoint read back over the wire) — plus, after a
+        # real crash, the respawn and its state re-ship — attributed to
+        # the recovery component of the cost model.
+        who = "?" if worker is None else worker
         rec = fw.metrics.new_record(
             "recovery_restore",
-            label=f"worker {failure.worker} died @s{failed_seq}",
+            label=f"worker {who} died @s{failed_seq}",
         )
         rec.replayed = True
+        if respawn_report is not None:
+            rec.respawns = len(respawn_report["respawned"])
+            rec.reshipped_values = respawn_report["values"]
         if found is None:
             ckpt_seq, snapshot = 0, None
             self.stats.restarts += 1
@@ -525,8 +547,9 @@ class RecoveryManager:
             rec.restore_values = snapshot_volume(snapshot)
             self.stats.restore_values += rec.restore_values
             self.stats.rollbacks += 1
+        crashed = " (process crash)" if isinstance(failure, WorkerCrashError) else ""
         self.stats.failure_log.append(
-            f"superstep {failed_seq}: worker {failure.worker} died; "
+            f"superstep {failed_seq}: worker {who} died{crashed}; "
             + (f"rolled back to checkpoint {ckpt_seq}" if snapshot is not None
                else "no checkpoint, full restart")
         )
@@ -557,12 +580,27 @@ class RecoveryManager:
                 try:
                     result = program(self.engine)
                     break
-                except WorkerFailure as failure:
+                except (WorkerFailure, WorkerCrashError) as failure:
                     self.stats.failures += 1
                     if retries >= self.max_retries:
                         raise RecoveryExhausted(failure, retries) from failure
                     retries += 1
-                    self._rollback(fw, failure)
+                    respawn_report = None
+                    if isinstance(failure, WorkerCrashError):
+                        # A real worker process died (or hung): respawn it
+                        # and rebuild its graph views and session state
+                        # *before* rolling back, so the replay runs on a
+                        # whole pool again.
+                        heal = getattr(fw, "heal_workers", None)
+                        if heal is None:
+                            raise  # no real workers to heal (inline run)
+                        self.stats.process_crashes += 1
+                        respawn_report = heal()
+                        self.stats.respawns += len(respawn_report["respawned"])
+                        self.stats.respawn_wall_s += respawn_report["wall_s"]
+                        self.stats.reshipped_values += respawn_report["values"]
+                        self.stats.reshipped_bytes += respawn_report["bytes"]
+                    self._rollback(fw, failure, respawn_report)
         finally:
             fw.fault_injector = None
             fw.on_commit = None

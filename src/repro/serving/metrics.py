@@ -19,8 +19,17 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-#: Request terminal states tracked per algorithm.
-STATUSES = ("ok", "cache_hit", "rejected_queue_full", "rejected_deadline", "error")
+#: Request states tracked per algorithm.  ``requeued`` is not terminal:
+#: a request whose engine failed mid-batch is re-admitted once (graceful
+#: degradation) and later lands in a terminal state too.
+STATUSES = (
+    "ok",
+    "cache_hit",
+    "rejected_queue_full",
+    "rejected_deadline",
+    "requeued",
+    "error",
+)
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -49,6 +58,11 @@ class ServingMetrics:
         self.merged_batches = 0
         #: Engine supersteps spent, summed over executed batches.
         self.supersteps = 0
+        #: Pooled engines that failed mid-batch, and how many of those
+        #: were successfully replaced (the difference is permanently lost
+        #: capacity — degraded mode).
+        self.engine_failures = 0
+        self.engines_replaced = 0
 
     # ------------------------------------------------------------------
     def mark_started(self) -> None:
@@ -79,6 +93,12 @@ class ServingMetrics:
                 self.merged_batches += 1
             self.supersteps += int(supersteps)
 
+    def record_engine_failure(self, replaced: bool) -> None:
+        with self._lock:
+            self.engine_failures += 1
+            if replaced:
+                self.engines_replaced += 1
+
     # ------------------------------------------------------------------
     @property
     def completed(self) -> int:
@@ -103,6 +123,8 @@ class ServingMetrics:
             per_algorithm = {a: dict(c) for a, c in self.per_algorithm.items()}
             merged = self.merged_batches
             supersteps = self.supersteps
+            engine_failures = self.engine_failures
+            engines_replaced = self.engines_replaced
         elapsed = self.elapsed()
         completed = counts["ok"] + counts["cache_hit"]
         snap: Dict[str, Any] = {
@@ -127,6 +149,11 @@ class ServingMetrics:
                 "occupancy_max": max(batch_sizes) if batch_sizes else 0,
             },
             "engine_supersteps": supersteps,
+            "engines": {
+                "failures": engine_failures,
+                "replaced": engines_replaced,
+                "lost": engine_failures - engines_replaced,
+            },
         }
         if cache_stats is not None:
             snap["cache"] = cache_stats

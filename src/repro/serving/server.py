@@ -44,6 +44,8 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from repro.core.engine import FlashEngine
 from repro.errors import (
     DeadlineExpiredError,
+    DistributedError,
+    EngineFailureError,
     QueueFullError,
     ServerClosedError,
 )
@@ -79,6 +81,9 @@ class _Pending:
     deadline_at: Optional[float]
     span: Any = None
     batch_key: Hashable = field(default=None)
+    #: Set when the request was requeued after an engine failure; a
+    #: second failure errors out instead of retrying forever.
+    retried: bool = False
 
 
 class GraphServer:
@@ -141,7 +146,14 @@ class GraphServer:
         self._inflight: set = set()
         self._holdover: "deque[_Pending]" = deque()
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._engines: "thread_queue.Queue[FlashEngine]" = thread_queue.Queue()
+        #: Pooled engines as (slot, engine); the slot index keys the
+        #: health map so replacements stay attributable.
+        self._engines: "thread_queue.Queue[Tuple[int, FlashEngine]]" = thread_queue.Queue()
+        #: Per-slot health: "ok" | "replaced" | "failed" (failed slots
+        #: are permanently out of the pool — degraded mode).
+        self._engine_health: Dict[int, str] = {}
+        #: Chaos hook: batches left to fail with EngineFailureError.
+        self._induced_failures = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -157,12 +169,9 @@ class GraphServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.engine_pool, thread_name_prefix="repro-serve"
         )
-        for _ in range(self.engine_pool):
-            self._engines.put(
-                FlashEngine(
-                    self.graph, num_workers=self.num_workers, backend=self.backend
-                )
-            )
+        for slot in range(self.engine_pool):
+            self._engines.put((slot, self._build_engine()))
+            self._engine_health[slot] = "ok"
         self._running = True
         self.metrics.mark_started()
         self._dispatcher = self._loop.create_task(self._dispatch_loop())
@@ -182,17 +191,24 @@ class GraphServer:
                 await self._dispatcher
             except asyncio.CancelledError:
                 pass
-        if self._inflight:
+        while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        pending = self._drain_pending()
+        # A request requeued by an engine failure already started once;
+        # failing it now would surface the engine's death to the client.
+        # Drain those through a final execution round instead.
+        for req in pending:
+            if req.retried and not req.future.done():
+                await self._execute_batch([req])
         closed = ServerClosedError("server stopped before the request ran")
-        for req in self._drain_pending():
+        for req in pending:
             if not req.future.done():
                 req.future.set_exception(closed)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
         while not self._engines.empty():
-            self._engines.get_nowait().close()
+            self._engines.get_nowait()[1].close()
         self.metrics.mark_stopped()
         snapshot = self.metrics_snapshot()
         if self.tracer.enabled:
@@ -419,6 +435,32 @@ class GraphServer:
                 [req.params for req in live],
                 version,
             )
+        except (EngineFailureError, DistributedError) as exc:
+            # The engine died mid-batch (its worker processes crashed or
+            # a chaos hook killed it).  The lease already replaced it;
+            # requeue each first-time request once instead of surfacing
+            # the engine's death to the client.
+            retry: List[_Pending] = []
+            for req in live:
+                if self._running and not req.retried and not req.future.done():
+                    retry.append(req)
+                else:
+                    self.metrics.record_request(algo.name, "error")
+                    if req.span is not None:
+                        req.span.end(status="error")
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+            for req in retry:
+                req.retried = True
+                self.metrics.record_request(algo.name, "requeued")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "serve.requeue", "serving", algorithm=algo.name
+                    )
+                self._requeue(req)
+            if span is not None:
+                span.end(status="engine_failure", requeued=len(retry))
+            return
         except Exception as exc:  # surfaced to every waiting client
             for req in live:
                 self.metrics.record_request(algo.name, "error")
@@ -452,19 +494,89 @@ class GraphServer:
         if span is not None:
             span.end(status="ok", supersteps=supersteps)
 
+    def _requeue(self, req: _Pending) -> None:
+        """Re-admit a request whose engine failed.  Prefer the asyncio
+        queue (it wakes the dispatcher); fall back to the holdover deque
+        when the queue is at depth — a full queue guarantees the
+        dispatcher has work and will sweep the holdover next."""
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            self._holdover.append(req)
+
+    def _build_engine(self) -> FlashEngine:
+        return FlashEngine(
+            self.graph, num_workers=self.num_workers, backend=self.backend
+        )
+
+    def _pool_size(self) -> int:
+        return sum(1 for s in self._engine_health.values() if s != "failed")
+
+    def _replace_engine(self, slot: int, engine: FlashEngine) -> None:
+        """The engine in ``slot`` failed: close it and put a fresh one in
+        its place.  If even building a replacement fails, the slot is
+        retired and the pool keeps serving at reduced capacity."""
+        try:
+            engine.close()
+        except Exception:
+            pass
+        try:
+            replacement = self._build_engine()
+        except Exception:
+            self._engine_health[slot] = "failed"
+            self.metrics.record_engine_failure(replaced=False)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "serve.engine_lost", "serving",
+                    slot=slot, pool_size=self._pool_size(),
+                )
+            return
+        self._engine_health[slot] = "replaced"
+        self.metrics.record_engine_failure(replaced=True)
+        self._engines.put((slot, replacement))
+        if self.tracer.enabled:
+            self.tracer.instant("serve.engine_replaced", "serving", slot=slot)
+
     @contextmanager
     def _lease_engine(self):
         """Borrow a pooled resident engine; on return, drop every
-        property the run added so the next lease starts clean."""
-        engine = self._engines.get()
+        property the run added so the next lease starts clean.  A lease
+        that raises an engine-failure error (crashed worker processes,
+        induced chaos) swaps a fresh engine into the slot instead of
+        returning the broken one."""
+        if self._pool_size() == 0:
+            raise ServerClosedError(
+                "every pooled engine has failed and could not be replaced"
+            )
+        slot, engine = self._engines.get()
         base = set(engine.flashware.state.property_names)
         try:
             yield engine
-        finally:
+        except (EngineFailureError, DistributedError):
+            self._replace_engine(slot, engine)
+            raise
+        except BaseException:
+            # Algorithm-level errors leave the engine healthy: scrub the
+            # scratch properties and return it to the pool.
             for name in list(engine.flashware.state.property_names):
                 if name not in base:
                     engine.drop_property(name)
-            self._engines.put(engine)
+            self._engines.put((slot, engine))
+            raise
+        else:
+            for name in list(engine.flashware.state.property_names):
+                if name not in base:
+                    engine.drop_property(name)
+            self._engines.put((slot, engine))
+
+    def inject_engine_failure(self, count: int = 1) -> None:
+        """Chaos hook: make the next ``count`` executed batches fail with
+        :class:`EngineFailureError`, exercising the replace-and-requeue
+        path exactly like a real engine death would."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._induced_failures = count
 
     def _run_batch(
         self,
@@ -475,6 +587,11 @@ class GraphServer:
         """Worker-thread entry: execute one (possibly merged) batch and
         return per-request values plus engine supersteps spent."""
         with self._lease_engine() as engine:
+            if self._induced_failures > 0:
+                self._induced_failures -= 1
+                raise EngineFailureError(
+                    "induced engine failure (chaos hook)"
+                )
             steps_before = engine.metrics.num_supersteps
             if algo.artifact is not None:
                 values = [
@@ -533,13 +650,25 @@ class GraphServer:
     # Introspection
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """Serving metrics + cache statistics, JSON-friendly."""
-        return self.metrics.snapshot(
+        """Serving metrics + cache statistics + engine-pool health,
+        JSON-friendly."""
+        snap = self.metrics.snapshot(
             cache_stats={
                 "results": self.cache.stats(),
                 "artifacts": self.artifact_cache.stats(),
             }
         )
+        snap["engines"].update(
+            {
+                "pool_size": self._pool_size(),
+                "degraded": self._pool_size() < self.engine_pool,
+                "health": {
+                    str(slot): status
+                    for slot, status in sorted(self._engine_health.items())
+                },
+            }
+        )
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -19,7 +19,7 @@ from repro import algorithms as A
 from repro.baselines.registry import SUITES
 from repro.core.analysis import use_analysis
 from repro.core.engine import FlashEngine
-from repro.errors import InexpressibleError, ReproError
+from repro.errors import FlashUsageError, InexpressibleError, ReproError
 from repro.graph.graph import Graph
 from repro.runtime.vectorized.dispatch import use_backend
 from repro.runtime.cluster import ClusterSpec
@@ -236,6 +236,13 @@ def run_app(
     if executor == "mp" and backend not in (None, "interp"):
         raise ValueError("executor='mp' runs on the interp backend; "
                          f"backend={backend!r} is not supported")
+    if faults is not None and faults.has_process_faults and executor != "mp":
+        raise FlashUsageError(
+            "process-level faults (kill/hang/slow) act on real worker "
+            "processes; they require executor='mp' (got "
+            f"executor={executor!r}). Use plain 'STEP[:WORKER]' entries "
+            "for simulated faults on the inline executor."
+        )
     if cluster is not None:
         num_workers = cluster.num_workers
     try:

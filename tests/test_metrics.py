@@ -67,6 +67,7 @@ def test_summary_keys():
         "dense_supersteps", "sparse_supersteps",
         "replayed_supersteps", "aborted_supersteps",
         "checkpoints", "checkpoint_values", "restore_values",
+        "respawns", "reshipped_values",
     }
 
 

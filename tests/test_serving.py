@@ -16,6 +16,7 @@ from repro import algorithms as A
 from repro.core.engine import FlashEngine
 from repro.errors import (
     DeadlineExpiredError,
+    EngineFailureError,
     InvalidRequestError,
     QueueFullError,
     ServerClosedError,
@@ -377,6 +378,97 @@ def test_serve_metrics_exported_through_tracer(graph, tmp_path):
     assert "serve.batch" in names
     assert "serve.metrics" in names
     assert "serve.cache_hit" in names
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: engine failure mid-batch never reaches clients
+# unhandled — the request is requeued once onto a replacement engine.
+# ---------------------------------------------------------------------------
+def test_engine_failure_requeues_without_client_errors(graph):
+    async def scenario(server):
+        server.inject_engine_failure(1)
+        results = await asyncio.gather(*[
+            server.submit("bfs-from-source", {"source": s}) for s in range(12)
+        ])
+        return results, server.metrics_snapshot()
+
+    results, snap = serve(graph, scenario, engine_pool=2, caching=False)
+    # Every client got its answer despite the mid-batch engine death...
+    for source, result in zip(range(12), results):
+        assert result.value[source] == 0
+    assert snap["requests"]["error"] == 0
+    assert snap["requests"]["ok"] == 12
+    # ...because the doomed batch's requests were requeued onto the
+    # replacement engine instead of erroring out.
+    assert snap["requests"]["requeued"] >= 1
+    assert snap["engines"]["failures"] == 1
+    assert snap["engines"]["replaced"] == 1
+    assert snap["engines"]["lost"] == 0
+    assert snap["engines"]["pool_size"] == 2
+    assert snap["engines"]["degraded"] is False
+    assert "replaced" in snap["engines"]["health"].values()
+
+
+def test_requeued_request_errors_on_second_engine_failure(graph):
+    async def scenario(server):
+        server.inject_engine_failure(2)
+        with pytest.raises(EngineFailureError):
+            await server.submit("bfs-from-source", {"source": 0})
+        assert server.metrics.counts["requeued"] == 1
+        assert server.metrics.counts["error"] == 1
+        # Both broken engines were swapped out, so the server recovers.
+        ok = await server.submit("bfs-from-source", {"source": 0})
+        return ok, server.metrics_snapshot()
+
+    result, snap = serve(graph, scenario, caching=False)
+    assert result.value[0] == 0
+    assert snap["engines"]["failures"] == 2
+    assert snap["engines"]["replaced"] == 2
+
+
+def test_engine_lost_degrades_but_keeps_serving(graph):
+    async def scenario(server):
+        def broken_build():
+            raise RuntimeError("engine construction is down")
+
+        server._build_engine = broken_build
+        server.inject_engine_failure(1)
+        results = await asyncio.gather(*[
+            server.submit("bfs-from-source", {"source": s}) for s in range(6)
+        ])
+        return results, server.metrics_snapshot()
+
+    results, snap = serve(graph, scenario, engine_pool=2, caching=False)
+    for source, result in zip(range(6), results):
+        assert result.value[source] == 0
+    assert snap["requests"]["error"] == 0
+    # One slot is permanently retired: degraded mode, reduced capacity,
+    # zero client-visible failures.
+    assert snap["engines"]["failures"] == 1
+    assert snap["engines"]["replaced"] == 0
+    assert snap["engines"]["lost"] == 1
+    assert snap["engines"]["pool_size"] == 1
+    assert snap["engines"]["degraded"] is True
+    assert "failed" in snap["engines"]["health"].values()
+
+
+def test_engine_failure_visible_in_metrics_and_trace(graph, tmp_path):
+    from repro.runtime.tracing import JsonlSink, Tracer, load_trace
+
+    path = tmp_path / "degraded.jsonl"
+    tracer = Tracer(JsonlSink(str(path)))
+
+    async def main():
+        async with GraphServer(
+            graph, engine_pool=1, num_workers=2, caching=False, tracer=tracer
+        ) as server:
+            server.inject_engine_failure(1)
+            await server.submit("bfs-from-source", {"source": 3})
+    asyncio.run(main())
+    tracer.close()
+    names = {span.name for span in load_trace(str(path))}
+    assert "serve.requeue" in names
+    assert "serve.engine_replaced" in names
 
 
 # ---------------------------------------------------------------------------
