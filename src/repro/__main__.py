@@ -272,6 +272,36 @@ def cmd_lint(args) -> int:
     return 1 if payload["errors"] else 0
 
 
+def cmd_plan(args) -> int:
+    from repro.analysis.compile import build_plan, cross_validate, render_plan
+
+    plan = build_plan(args.app, num_workers=args.workers)
+    payload = plan.describe()
+    if args.check:
+        check = cross_validate(args.app, num_workers=args.workers)
+        payload["crosscheck"] = check.describe()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_plan(plan))
+        if args.check:
+            check_out = payload["crosscheck"]
+            verdict = "identical" if check_out["ok"] else "DIVERGED"
+            swapped = check_out["swapped"]
+            print()
+            print(f"crosscheck (synthesized vs hand specs): {verdict}; "
+                  f"{len(swapped)} kernel(s) swapped")
+            for kernel in swapped:
+                print(f"  {kernel}")
+            if not check_out["ok"]:
+                for variant in check_out["variants"]:
+                    for mismatch in variant["mismatches"]:
+                        print(f"  {variant['variant']}: {mismatch}")
+    if args.check and not payload["crosscheck"]["ok"]:
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serving import run_load
 
@@ -384,7 +414,8 @@ def main(argv=None) -> int:
             default=None,
             help="critical-property analysis mode: static (ahead-of-time, "
                  "default), trace (runtime sampling), check (static + trace "
-                 "cross-check oracle), off",
+                 "cross-check oracle), compile (static kernel compiler: "
+                 "spec synthesis + communication planning), off",
         )
         p.add_argument(
             "--faults",
@@ -462,6 +493,19 @@ def main(argv=None) -> int:
                    help="print the rule catalog and exit")
 
     p = sub.add_parser(
+        "plan",
+        help="static kernel compiler plan: per-kernel classification, "
+             "spec-synthesis dispatch decision and predicted sync traffic",
+    )
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--check", action="store_true",
+                   help="additionally cross-validate synthesized vs "
+                        "hand-written specs bit-identically")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable plan artifact")
+
+    p = sub.add_parser(
         "serve",
         help="graph-as-a-service: drive closed-loop clients against the "
              "async query server (batching + versioned result cache)",
@@ -512,7 +556,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
             "lloc": cmd_lloc, "trace": cmd_trace, "lint": cmd_lint,
-            "serve": cmd_serve,
+            "serve": cmd_serve, "plan": cmd_plan,
             "partition-stats": cmd_partition_stats}[args.command](args)
 
 

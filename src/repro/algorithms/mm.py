@@ -22,6 +22,22 @@ from repro.core.edgeset import join
 from repro.core.primitives import ctrue
 from repro.errors import ReproError
 from repro.graph.graph import Graph
+from repro.runtime.vectorized.specs import EdgeMapSpec
+
+# The mutual-handshake match kernel over the ``join(U, p)`` virtual
+# edges (vertex -> its recorded best proposer).  Each target has exactly
+# one incoming virtual arc, so the ``return t`` fold is trivially
+# deterministic — ``reduce="last"`` declares that contract.  Virtual
+# edge sets never dispatch vectorized; the spec is the kernel's access
+# declaration (and lint/speccheck input) only.
+_MATCH_SPEC = EdgeMapSpec(
+    prop="s",
+    reduce="last",
+    value=lambda k: k.src,
+    f=lambda k: k.dp("p") == k.src,
+    cond_unvisited=-1,
+    reads=("p",),
+)
 
 
 def _matching_pairs(eng: FlashEngine) -> List[Tuple[int, int]]:
@@ -154,8 +170,14 @@ def mm_opt(
         # Unmatched sources propose to the (unmatched) frontier only.
         eng.edge_map_dense(eng.V, join(eng.E, frontier), f1, propose, cond, label="mm_opt:propose")
         # Mutual best-proposers match, both sides.
-        a = eng.edge_map_sparse(frontier, join(frontier, "p"), f2, m2, cond, r2, label="mm_opt:match1")
-        b = eng.edge_map_sparse(a, join(a, "p"), f2, m2, cond, r2, label="mm_opt:match2")
+        a = eng.edge_map_sparse(
+            frontier, join(frontier, "p"), f2, m2, cond, r2,
+            label="mm_opt:match1", spec=_MATCH_SPEC,
+        )
+        b = eng.edge_map_sparse(
+            a, join(a, "p"), f2, m2, cond, r2,
+            label="mm_opt:match2", spec=_MATCH_SPEC,
+        )
         # Reactivate unmatched vertices whose best proposer was just taken.
         frontier = eng.edge_map_sparse(a.union(b), eng.E, f2, m3, cond, m3, label="mm_opt:react")
 

@@ -1,0 +1,438 @@
+"""Restricted expression IR for the static kernel compiler.
+
+The spec synthesizer (:mod:`repro.analysis.compile.synthesize`) lowers
+FLASH user-function bodies into this IR before deciding whether a
+kernel is compilable.  The IR is deliberately tiny: every node has an
+exact NumPy counterpart whose elementwise result is *bit-identical* to
+the interpreted Python evaluation, so a kernel built from compiled
+expressions can be dispatched to the vectorized backend without any
+semantic fork.  Anything outside the IR raises :class:`Unsupported`
+with a reason — the synthesizer then leaves the kernel interpreted,
+which is always sound.
+
+Two compilation targets mirror the vectorized batch views:
+
+* :func:`compile_vertex` — closures over a ``VertexBatch`` (``k.p``,
+  ``k.ids``, ``k.deg`` ...), used for VERTEXMAP filters and map columns;
+* :func:`compile_edge` — closures over an ``EdgeBatch`` (``k.sp`` /
+  ``k.dp`` / ``k.src`` / ``k.dst`` ...), used for EDGEMAP values and
+  filters.
+
+Bit-identity notes: ``and`` / ``or`` are only lowered when every
+operand is syntactically boolean (comparisons, ``not``, nested bool
+ops) — there the Python short-circuit value equals the logical
+product, so ``np.logical_and``/``or`` is faithful; IEEE ``+`` and
+``*`` are commutative at the bit level, so operand order never needs
+normalizing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+
+class Unsupported(Exception):
+    """The construct is outside the compilable subset (carries a
+    human-readable reason used in plan artifacts and diagnostics)."""
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base class; all nodes are frozen (hashable, structurally
+    comparable — the synthesizer matches patterns by ``==``)."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class Prop(Expr):
+    """A vertex-property read, attributed to a role (``self`` /
+    ``source`` / ``target`` / the R-slot ``temp`` / ``acc``)."""
+
+    role: str
+    name: str
+
+
+#: Reserved vertex attributes the IR models (subset of
+#: ``repro.core.vertex.RESERVED_ATTRIBUTES`` with batch equivalents).
+SPECIAL_ATTRS = ("id", "deg", "out_deg", "in_deg")
+
+
+@dataclass(frozen=True)
+class Special(Expr):
+    """A reserved attribute read (``v.id``, ``v.deg``, ...)."""
+
+    role: str
+    attr: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "not" | "neg" | "pos"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # "+" | "-" | "*" | "/" | "//" | "%"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    op: str  # "==" | "!=" | "<" | "<=" | ">" | ">="
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    op: str  # "and" | "or"
+    operands: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class MinMax(Expr):
+    op: str  # "min" | "max"
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Abs(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Where(Expr):
+    """Branch merge (``then if cond else otherwise``) — produced by the
+    synthesizer's If/Else handling and by conditional expressions."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True)
+class FreshObject(Expr):
+    """A zero-argument constructor call (``set()`` / ``list()`` /
+    ``dict()``): one fresh object per vertex.  Only legal as the
+    top-level value of a VERTEXMAP column."""
+
+    kind: str  # "set" | "list" | "dict"
+
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%",
+}
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+def reads(expr: Expr) -> Set[Tuple[str, str]]:
+    """Every ``(role, prop)`` the expression reads."""
+    out: Set[Tuple[str, str]] = set()
+    _collect_reads(expr, out)
+    return out
+
+
+def _collect_reads(expr: Expr, out: Set[Tuple[str, str]]) -> None:
+    if isinstance(expr, Prop):
+        out.add((expr.role, expr.name))
+    elif isinstance(expr, Unary):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, Abs):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, (Binary, Compare)):
+        _collect_reads(expr.left, out)
+        _collect_reads(expr.right, out)
+    elif isinstance(expr, BoolOp):
+        for op in expr.operands:
+            _collect_reads(op, out)
+    elif isinstance(expr, MinMax):
+        for arg in expr.args:
+            _collect_reads(arg, out)
+    elif isinstance(expr, Where):
+        _collect_reads(expr.cond, out)
+        _collect_reads(expr.then, out)
+        _collect_reads(expr.otherwise, out)
+
+
+def is_boolean(expr: Expr) -> bool:
+    """Syntactically boolean — Python's short-circuit ``and``/``or``
+    over such operands returns the same truth value the logical ufuncs
+    compute."""
+    if isinstance(expr, Compare):
+        return True
+    if isinstance(expr, Unary):
+        return expr.op == "not"
+    if isinstance(expr, BoolOp):
+        return all(is_boolean(op) for op in expr.operands)
+    if isinstance(expr, Const):
+        return isinstance(expr.value, bool)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# AST -> IR lowering
+# ---------------------------------------------------------------------------
+_CONST_TYPES = (bool, int, float, str, type(None))
+
+
+class Lowerer:
+    """Lowers expression ASTs from one user function.
+
+    ``env`` maps parameter names to roles; ``resolve`` resolves free
+    names (``bind``-supplied values first, then closure / globals /
+    builtins) and must return ``(found, value)``; ``read_hook`` lets
+    the statement lowerer substitute already-staged writes for
+    sequential-read semantics (``None`` reads the committed snapshot).
+    """
+
+    def __init__(
+        self,
+        env: Dict[str, str],
+        resolve: Callable[[str], Tuple[bool, Any]],
+        read_hook: Optional[Callable[[str, str], Optional[Expr]]] = None,
+    ):
+        self.env = env
+        self.resolve = resolve
+        self.read_hook = read_hook
+
+    def lower(self, node: ast.AST) -> Expr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, _CONST_TYPES):
+                return Const(node.value)
+            raise Unsupported(f"constant of type {type(node.value).__name__}")
+        if isinstance(node, ast.Attribute):
+            return self._lower_attribute(node)
+        if isinstance(node, ast.Name):
+            return self._lower_name(node.id)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.lower(node.operand)
+            if isinstance(node.op, ast.Not):
+                return Unary("not", operand)
+            if isinstance(node.op, ast.USub):
+                # fold negated literals so sentinel matching sees Const(-1)
+                if isinstance(operand, Const) and isinstance(
+                    operand.value, (int, float)
+                ):
+                    return Const(-operand.value)
+                return Unary("neg", operand)
+            if isinstance(node.op, ast.UAdd):
+                if isinstance(operand, Const) and isinstance(
+                    operand.value, (int, float)
+                ):
+                    return operand
+                return Unary("pos", operand)
+            raise Unsupported("unary operator")
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise Unsupported(f"operator {type(node.op).__name__}")
+            return Binary(op, self.lower(node.left), self.lower(node.right))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1 or len(node.comparators) != 1:
+                raise Unsupported("chained comparison")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise Unsupported(f"comparison {type(node.ops[0]).__name__}")
+            return Compare(op, self.lower(node.left), self.lower(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            operands = tuple(self.lower(v) for v in node.values)
+            if not all(is_boolean(op) for op in operands):
+                raise Unsupported("and/or over non-boolean operands")
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            return BoolOp(op, operands)
+        if isinstance(node, ast.IfExp):
+            return Where(
+                self.lower(node.test), self.lower(node.body), self.lower(node.orelse)
+            )
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        raise Unsupported(f"expression {type(node).__name__}")
+
+    def _lower_attribute(self, node: ast.Attribute) -> Expr:
+        if not isinstance(node.value, ast.Name):
+            raise Unsupported("nested attribute access")
+        role = self.env.get(node.value.id)
+        if role is None:
+            raise Unsupported(f"attribute on non-role name {node.value.id!r}")
+        attr = node.attr
+        if attr in SPECIAL_ATTRS:
+            return Special(role, attr)
+        if attr.startswith("_"):
+            raise Unsupported(f"private attribute {attr!r}")
+        if self.read_hook is not None:
+            staged = self.read_hook(role, attr)
+            if staged is not None:
+                return staged
+        return Prop(role, attr)
+
+    def _lower_name(self, name: str) -> Expr:
+        if name in self.env:
+            raise Unsupported(f"bare role parameter {name!r}")
+        found, value = self.resolve(name)
+        if not found:
+            raise Unsupported(f"unresolvable name {name!r}")
+        if isinstance(value, _CONST_TYPES):
+            return Const(value)
+        raise Unsupported(f"non-constant captured value {name!r}")
+
+    def _lower_call(self, node: ast.Call) -> Expr:
+        if node.keywords or not isinstance(node.func, ast.Name):
+            raise Unsupported("call")
+        name = node.func.id
+        found, fn = self.resolve(name)
+        if not found:
+            raise Unsupported(f"unresolvable callee {name!r}")
+        if fn is min or fn is max:
+            if len(node.args) < 2:
+                raise Unsupported(f"{name}() over an iterable")
+            return MinMax(name, tuple(self.lower(a) for a in node.args))
+        if fn is abs and len(node.args) == 1:
+            return Abs(self.lower(node.args[0]))
+        if fn in (set, list, dict) and not node.args:
+            return FreshObject(fn.__name__)
+        raise Unsupported(f"call to {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# IR -> NumPy closures
+# ---------------------------------------------------------------------------
+def _compile(expr: Expr, leaf: Callable[[Expr], Callable]) -> Callable:
+    """Compile ``expr`` into ``batch -> array-or-scalar``; ``leaf``
+    handles the batch-specific nodes (Prop / Special)."""
+    if isinstance(expr, Const):
+        v = expr.value
+        return lambda k: v
+    if isinstance(expr, (Prop, Special)):
+        return leaf(expr)
+    if isinstance(expr, Unary):
+        sub = _compile(expr.operand, leaf)
+        if expr.op == "not":
+            return lambda k: np.logical_not(sub(k))
+        if expr.op == "neg":
+            return lambda k: np.negative(sub(k))
+        return lambda k: +sub(k)
+    if isinstance(expr, Abs):
+        sub = _compile(expr.operand, leaf)
+        return lambda k: np.abs(sub(k))
+    if isinstance(expr, Binary):
+        lf, rf = _compile(expr.left, leaf), _compile(expr.right, leaf)
+        op = {
+            "+": np.add, "-": np.subtract, "*": np.multiply,
+            "/": np.true_divide, "//": np.floor_divide, "%": np.mod,
+        }[expr.op]
+        return lambda k: op(lf(k), rf(k))
+    if isinstance(expr, Compare):
+        lf, rf = _compile(expr.left, leaf), _compile(expr.right, leaf)
+        op = {
+            "==": np.equal, "!=": np.not_equal, "<": np.less,
+            "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+        }[expr.op]
+        return lambda k: op(lf(k), rf(k))
+    if isinstance(expr, BoolOp):
+        subs = [_compile(op, leaf) for op in expr.operands]
+        combine = np.logical_and if expr.op == "and" else np.logical_or
+        def run(k, _subs=subs, _combine=combine):
+            out = _subs[0](k)
+            for sub in _subs[1:]:
+                out = _combine(out, sub(k))
+            return out
+        return run
+    if isinstance(expr, MinMax):
+        subs = [_compile(a, leaf) for a in expr.args]
+        combine = np.minimum if expr.op == "min" else np.maximum
+        def run(k, _subs=subs, _combine=combine):
+            out = _subs[0](k)
+            for sub in _subs[1:]:
+                out = _combine(out, sub(k))
+            return out
+        return run
+    if isinstance(expr, Where):
+        cf = _compile(expr.cond, leaf)
+        tf = _compile(expr.then, leaf)
+        of = _compile(expr.otherwise, leaf)
+        return lambda k: np.where(cf(k), tf(k), of(k))
+    raise Unsupported(f"cannot compile {type(expr).__name__}")
+
+
+def _vertex_leaf(expr: Expr) -> Callable:
+    if isinstance(expr, Prop):
+        name = expr.name
+        return lambda k: k.p(name)
+    attr = expr.attr
+    if attr == "id":
+        return lambda k: k.ids
+    if attr == "deg":
+        return lambda k: k.deg
+    if attr == "out_deg":
+        return lambda k: k.out_deg
+    if attr == "in_deg":
+        return lambda k: k.in_deg
+    raise Unsupported(f"vertex attribute {attr!r}")  # pragma: no cover
+
+
+def _edge_leaf(expr: Expr) -> Callable:
+    if isinstance(expr, Prop):
+        name = expr.name
+        if expr.role == "source":
+            return lambda k: k.sp(name)
+        if expr.role == "target":
+            return lambda k: k.dp(name)
+        raise Unsupported(f"edge role {expr.role!r}")
+    if expr.role == "source":
+        if expr.attr == "id":
+            return lambda k: k.src
+        if expr.attr == "out_deg":
+            return lambda k: k.src_out_deg
+        if expr.attr == "in_deg":
+            return lambda k: k.src_in_deg
+        if expr.attr == "deg":
+            raise Unsupported("source.deg on an edge batch")
+    if expr.role == "target" and expr.attr == "id":
+        return lambda k: k.dst
+    raise Unsupported(f"edge attribute {expr.role}.{expr.attr}")
+
+
+def _broadcast(value: Any, n: int) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n, arr[()])
+    return arr
+
+
+def compile_vertex(expr: Expr) -> Callable:
+    """``VertexBatch -> ndarray`` (scalars broadcast to batch length)."""
+    fn = _compile(expr, _vertex_leaf)
+    return lambda k: _broadcast(fn(k), len(k))
+
+
+def compile_vertex_column(expr: Expr) -> Callable:
+    """Like :func:`compile_vertex` but also accepts a top-level
+    :class:`FreshObject` (one fresh container per vertex, as a list
+    column)."""
+    if isinstance(expr, FreshObject):
+        ctor = {"set": set, "list": list, "dict": dict}[expr.kind]
+        return lambda k: [ctor() for _ in range(len(k))]
+    return compile_vertex(expr)
+
+
+def compile_edge(expr: Expr) -> Callable:
+    """``EdgeBatch -> ndarray`` (scalars broadcast to batch length)."""
+    fn = _compile(expr, _edge_leaf)
+    return lambda k: _broadcast(fn(k), len(k))

@@ -21,12 +21,22 @@ read-never-written       error /   a kernel reads a property no engine ever decl
 noncommutative-reduce    warning   ``R`` combines its two temps with a
                                    non-commutative operator, or returns its first
                                    temp unchanged (arrival order decides the result)
+                                   — suppressed when the kernel's registered spec
+                                   declares ``reduce="last"`` (the order dependence
+                                   is then the documented contract)
 global-mutation          error     a user function mutates captured enclosing-scope
                                    or module state instead of using ``bind``
 unsynced-read            warning   a kernel's analysis is incomplete (no recoverable
                                    source, or a role escaping resolution), so reads
                                    may observe unsynced mirror state; the engine
                                    falls back to the runtime sample tracer for it
+sync-of-never-written    error     a property is classified critical (mirror-synced)
+                                   but no kernel ever writes it and its default is
+                                   ``None`` — every sync ships a value that cannot
+                                   exist, so the read is a latent typo
+cross-partition-         error     a sparse kernel writes a target property its
+unplanned-write                    classification did not mark critical — the
+                                   cross-partition write would never be synced back
 =======================  ========  ==================================================
 
 Severities: *errors* are model violations that break on a real cluster
@@ -79,7 +89,23 @@ RULES: Dict[str, tuple] = {
         "the static pass could not fully analyze this kernel; reads may "
         "touch unsynced mirror state and the runtime tracer takes over",
     ),
+    "sync-of-never-written": (
+        ERROR,
+        "a critical (mirror-synced) property is never written by any "
+        "kernel and defaults to None — the sync traffic is provably "
+        "useless and the read is a latent typo",
+    ),
+    "cross-partition-unplanned-write": (
+        ERROR,
+        "a sparse kernel writes a target property outside its planned "
+        "sync set — the cross-partition write would never reach the "
+        "owner on a real cluster",
+    ),
 }
+
+#: ``repro lint --json`` payload schema.  Bump on any breaking change to
+#: the summarize() structure; additions of new keys are non-breaking.
+SCHEMA_VERSION = "1"
 
 _EDGE_KINDS = ("edge_map_dense", "edge_map_sparse")
 
@@ -117,7 +143,12 @@ def _kernel_name(kind: str, label: str) -> str:
 
 
 def _slot_findings(
-    kind: str, kernel: str, slot: str, fa: FunctionAccess, app: str
+    kind: str,
+    kernel: str,
+    slot: str,
+    fa: FunctionAccess,
+    app: str,
+    reduce_last: bool = False,
 ) -> List[Finding]:
     out: List[Finding] = []
     if kind in _EDGE_KINDS:
@@ -162,7 +193,11 @@ def _slot_findings(
                 + ", ".join(sorted(fa.noncomm_writes)),
                 app=app, kernel=kernel, location=fa.location,
             ))
-        elif fa.returns_param == 0 and not fa.writes:
+        elif fa.returns_param == 0 and not fa.writes and not reduce_last:
+            # A registered spec declaring reduce="last" makes the order
+            # dependence the kernel's documented contract — the
+            # vectorized path reproduces it deterministically, so the
+            # warning would only be noise.
             out.append(Finding(
                 "noncommutative-reduce", WARNING,
                 "R returns its first temp unchanged — the reduce result "
@@ -172,11 +207,21 @@ def _slot_findings(
     return out
 
 
-def _kernel_findings(kind: str, kernel: str, access: KernelAccess, app: str) -> List[Finding]:
+def _kernel_findings(
+    kind: str,
+    kernel: str,
+    access: KernelAccess,
+    app: str,
+    spec=None,
+    critical: Optional[Set[str]] = None,
+) -> List[Finding]:
+    reduce_last = getattr(spec, "reduce", None) == "last"
     out: List[Finding] = []
     for slot, fa in access.slots.items():
         if fa is not None:
-            out.extend(_slot_findings(kind, kernel, slot, fa, app))
+            out.extend(_slot_findings(
+                kind, kernel, slot, fa, app, reduce_last=reduce_last
+            ))
     if not access.complete:
         incomplete = sorted(
             slot for slot, fa in access.slots.items()
@@ -188,6 +233,20 @@ def _kernel_findings(kind: str, kernel: str, access: KernelAccess, app: str) -> 
             + " — possible unsynced mirror reads; runtime tracer takes over",
             app=app, kernel=kernel,
         ))
+    if kind == "edge_map_sparse" and access.complete and critical is not None:
+        # Every sparse target write crosses partitions (the source-side
+        # worker stages it, the target's owner must receive it), so it
+        # must be in the kernel's planned sync set — Table II puts it
+        # there automatically; anything else is a planner/analyzer
+        # inconsistency that would silently drop writes on a cluster.
+        unplanned = {p for r, p in access.writes if r == "target"} - critical
+        for prop in sorted(unplanned):
+            out.append(Finding(
+                "cross-partition-unplanned-write", ERROR,
+                f"sparse kernel writes target property {prop!r} that its "
+                "classification does not plan to sync",
+                app=app, kernel=kernel,
+            ))
     return out
 
 
@@ -232,6 +291,27 @@ def _program_findings(capture: ProgramCapture, app: str) -> List[Finding]:
                         "defaults to None",
                         app=app, kernel=kernel,
                     ))
+        # sync-of-never-written: a property some kernel's classification
+        # marks critical — i.e. the executor will spend mirror-sync
+        # traffic on it every barrier — that no kernel ever writes and
+        # whose default is None.  The mirrors can only ever receive the
+        # value they already hold, so the sync is provably useless and
+        # the critical-making read is almost certainly a typo.
+        synced_flagged: Set[str] = set()
+        for report in reports:
+            kernel = _kernel_name(report.kind, report.label)
+            for prop in sorted(report.classification.critical):
+                if prop in synced_flagged or prop not in declared:
+                    continue
+                if prop not in written and prop not in initialized:
+                    synced_flagged.add(prop)
+                    out.append(Finding(
+                        "sync-of-never-written", ERROR,
+                        f"property {prop!r} is mirror-synced for this "
+                        "kernel but never written by any kernel and "
+                        "defaults to None",
+                        app=app, kernel=kernel,
+                    ))
     return out
 
 
@@ -244,6 +324,8 @@ def lint_capture(capture: ProgramCapture, app: str = "") -> List[Finding]:
             _kernel_name(report.kind, report.label),
             report.classification.access,
             app,
+            spec=report.spec,
+            critical=set(report.classification.critical),
         ))
     findings.extend(_program_findings(capture, app))
     # Deterministic order: errors first, then by rule/kernel/message.
@@ -292,15 +374,23 @@ def lint_apps(apps: Optional[Sequence[str]] = None) -> Dict[str, List[Finding]]:
 
 
 def summarize(findings_by_app: Dict[str, List[Finding]]) -> dict:
-    """The machine-readable payload of ``repro lint --json``."""
-    all_findings = [f for fs in findings_by_app.values() for f in fs]
+    """The machine-readable payload of ``repro lint --json``.
+
+    Deterministic: apps and the rule catalog are sorted by name, and
+    findings are listed app by app in that order (within one app they
+    carry ``lint_capture``'s severity/rule/kernel/message order).  The
+    payload is versioned by ``schema_version``."""
+    apps = sorted(findings_by_app)
+    all_findings = [f for app in apps for f in findings_by_app[app]]
     return {
-        "apps": sorted(findings_by_app),
+        "schema_version": SCHEMA_VERSION,
+        "apps": apps,
         "errors": sum(1 for f in all_findings if f.severity == ERROR),
         "warnings": sum(1 for f in all_findings if f.severity == WARNING),
         "findings": [f.describe() for f in all_findings],
         "rules": {
             rule: {"severity": sev, "description": desc}
-            for rule, (sev, desc) in RULES.items()
+            for rule in sorted(RULES)
+            for sev, desc in [RULES[rule]]
         },
     }

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.staticpass.tableii import StaticClassification
 
@@ -45,6 +45,10 @@ class KernelReport:
     #: data that is legitimately read without ever being written by a
     #: kernel (random priorities, edge weights, ...).
     initialized: Set[str] = field(default_factory=set)
+    #: The vectorized spec registered alongside the kernel, when one was
+    #: (hand-written or synthesized) — lint rules consult its declared
+    #: reduce semantics.
+    spec: Optional[Any] = None
 
 
 class ProgramCapture:
@@ -66,6 +70,8 @@ class ProgramCapture:
         if existing is not None:
             existing.declared |= report.declared
             existing.initialized |= report.initialized
+            if existing.spec is None:
+                existing.spec = report.spec
             return
         self._by_key[key] = report
         self.reports.append(report)
@@ -93,7 +99,13 @@ def capturing() -> bool:
     return bool(_collectors)
 
 
-def record(engine, kind: str, label: str, classification: StaticClassification) -> None:
+def record(
+    engine,
+    kind: str,
+    label: str,
+    classification: StaticClassification,
+    spec: Optional[Any] = None,
+) -> None:
     """Report one analyzed kernel to every active collector."""
     if not _collectors:
         return
@@ -113,6 +125,7 @@ def record(engine, kind: str, label: str, classification: StaticClassification) 
         classification=classification,
         declared=declared,
         initialized=initialized,
+        spec=spec,
     )
     for collector in _collectors:
         collector.add(report)

@@ -18,14 +18,33 @@ dispatcher uses for column checks.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.analysis.staticpass.tableii import StaticClassification
 
 
+def _blame(access, prop: str, attr: str) -> Optional[str]:
+    """The slot + ``file:line`` performing the offending access — the
+    first slot (in C/F/M/R order) whose ``attr`` set touches ``prop``."""
+    for slot in ("C", "F", "M", "R"):
+        fa = access.slots.get(slot)
+        if fa is None:
+            continue
+        props = getattr(fa, attr)
+        touched = {p for _, p in props} if props and isinstance(
+            next(iter(props)), tuple
+        ) else set(props)
+        if prop in touched:
+            if fa.filename:
+                return f"{slot} at {fa.filename}:{fa.lineno}"
+            return f"{slot} in {fa.name}"
+    return None
+
+
 def check_spec(kind: str, spec, classification: StaticClassification) -> List[str]:
     """Compare one kernel's static access sets against the spec passed
-    alongside it.  Returns diagnostic strings (empty = consistent);
+    alongside it.  Returns diagnostic strings (empty = consistent), each
+    naming the kernel kind and the offending slot's ``file:line``;
     incomplete classifications are skipped (nothing sound to compare)."""
     if not classification.complete:
         return []
@@ -43,18 +62,20 @@ def check_spec(kind: str, spec, classification: StaticClassification) -> List[st
         # declaration).
         return []
 
-    missing_writes = static_writes - declared_writes
-    if missing_writes:
+    for prop in sorted(static_writes - declared_writes):
+        blame = _blame(access, prop, "writes")
+        where = f" (written by {blame})" if blame else ""
         diagnostics.append(
-            f"{kind}: user functions write "
-            + ", ".join(sorted(missing_writes))
-            + " but the spec declares writes=" + repr(sorted(declared_writes))
+            f"{kind}: user functions write {prop!r}{where} but the spec "
+            f"declares writes={sorted(declared_writes)!r}"
         )
-    missing_reads = static_reads - declared_reads - declared_writes
-    if missing_reads:
+    for prop in sorted(static_reads - declared_reads - declared_writes):
+        blame = _blame(access, prop, "reads") or _blame(
+            access, prop, "remote_reads"
+        )
+        where = f" (read by {blame})" if blame else ""
         diagnostics.append(
-            f"{kind}: user functions read "
-            + ", ".join(sorted(missing_reads))
-            + " but the spec declares reads=" + repr(sorted(declared_reads))
+            f"{kind}: user functions read {prop!r}{where} but the spec "
+            f"declares reads={sorted(declared_reads)!r}"
         )
     return diagnostics

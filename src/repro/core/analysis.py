@@ -37,6 +37,15 @@ of that analysis:
     observes; anything the trace sees that the static pass missed is
     surfaced as an engine diagnostic.
 
+``compile``
+    The static kernel compiler (:mod:`repro.analysis.compile`): the
+    ahead-of-time pass runs exactly as under ``static``, and on top of
+    it (1) analyzable F/M/C/R functions are compiled into vectorized
+    kernel specs automatically (per-kernel fallback to interp when any
+    slot resists), and (2) the per-kernel read/write sets feed a
+    :class:`~repro.analysis.compile.commplan.CommunicationPlan` that the
+    mp executor uses to withhold mirror deltas no kernel can read.
+
 ``off``
     No analysis (``FlashEngine(auto_analyze=False)``) — nothing is ever
     marked critical.
@@ -60,7 +69,10 @@ Event = Tuple[str, str, str]  # (op, role, property)
 # ---------------------------------------------------------------------------
 # Analysis-mode selection (ambient default + per-engine override)
 # ---------------------------------------------------------------------------
-ANALYSIS_MODES = ("static", "trace", "check", "off")
+ANALYSIS_MODES = ("static", "trace", "check", "compile", "off")
+
+#: Modes that run the ahead-of-time pass before the kernel executes.
+_STATIC_MODES = ("static", "check", "compile")
 
 _default_analysis = "static"
 _default_remote_promotion = True
@@ -163,7 +175,9 @@ def _get_staticpass():
     return _staticpass
 
 
-def _apply_static(engine, kind: str, label: str, F=None, M=None, C=None, R=None):
+def _apply_static(
+    engine, kind: str, label: str, F=None, M=None, C=None, R=None, spec=None
+):
     """Run the ahead-of-time pass for one kernel and register its verdict
     with FLASHWARE.  Returns the classification, or ``None`` when the
     analyzer itself failed (never breaks execution)."""
@@ -192,8 +206,21 @@ def _apply_static(engine, kind: str, label: str, F=None, M=None, C=None, R=None)
             "sample tracing takes over for this kernel"
         )
     if sp.program.capturing():
-        sp.program.record(engine, kind, label, classification)
+        sp.program.record(engine, kind, label, classification, spec=spec)
     return classification
+
+
+def _observe_plan(engine, kind: str, label: str, static_res, virtual: bool) -> None:
+    """Fold one kernel registration into the engine's communication plan
+    (``analysis="compile"`` only) and let a distributed flashware re-ship
+    columns whose deltas were withheld under a now-stale plan."""
+    plan = getattr(engine, "comm_plan", None)
+    if plan is None:
+        return
+    plan.observe(kind, label, static_res, virtual=virtual)
+    hook = getattr(engine.flashware, "sync_comm_plan", None)
+    if hook is not None:
+        hook()
 
 
 def validate_spec(engine, kind: str, spec, classification) -> None:
@@ -209,7 +236,7 @@ def validate_spec(engine, kind: str, spec, classification) -> None:
 # ---------------------------------------------------------------------------
 # Engine entry points (one call per kernel superstep)
 # ---------------------------------------------------------------------------
-def analyze_vertex_map(engine, subset: VertexSubset, F, M, label: str = ""):
+def analyze_vertex_map(engine, subset: VertexSubset, F, M, label: str = "", spec=None):
     """Analyze a VERTEXMAP call.  Per Table II, VERTEXMAP accesses are
     never critical; only ``engine.get`` reads inside the map (found
     statically, or promoted at runtime) can mark anything.  Returns the
@@ -218,9 +245,14 @@ def analyze_vertex_map(engine, subset: VertexSubset, F, M, label: str = ""):
     if mode == "off":
         return None
     static_res = None
-    if mode in ("static", "check"):
-        static_res = _apply_static(engine, "vertex_map", label, F=F, M=M)
-        if mode == "static" and static_res is not None and static_res.complete:
+    if mode in _STATIC_MODES:
+        static_res = _apply_static(engine, "vertex_map", label, F=F, M=M, spec=spec)
+        _observe_plan(engine, "vertex_map", label, static_res, virtual=False)
+        if (
+            mode in ("static", "compile")
+            and static_res is not None
+            and static_res.complete
+        ):
             return static_res
 
     sample = next(iter(subset), None)
@@ -249,6 +281,7 @@ def analyze_edge_map(
     C,
     R,
     label: str = "",
+    spec=None,
 ):
     """Analyze an EDGEMAP call and mark the critical properties before
     the kernel runs.  Returns the static classification when one was
@@ -257,9 +290,16 @@ def analyze_edge_map(
     if mode == "off":
         return None
     static_res = None
-    if mode in ("static", "check"):
-        static_res = _apply_static(engine, kind, label, F=F, M=M, C=C, R=R)
-        if mode == "static" and static_res is not None and static_res.complete:
+    if mode in _STATIC_MODES:
+        static_res = _apply_static(engine, kind, label, F=F, M=M, C=C, R=R, spec=spec)
+        _observe_plan(
+            engine, kind, label, static_res, virtual=not edges.within_graph
+        )
+        if (
+            mode in ("static", "compile")
+            and static_res is not None
+            and static_res.complete
+        ):
             return static_res
 
     sample = None

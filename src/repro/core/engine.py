@@ -187,6 +187,22 @@ class FlashEngine:
         if remote_promotion is None:
             remote_promotion = default_remote_promotion()
         self.remote_promotion = remote_promotion
+        #: The static kernel compiler's outputs (``analysis="compile"``):
+        #: per-property sync scopes consumed by the mp executor, and the
+        #: per-kernel dispatch decisions for the ``repro plan`` artifact.
+        self.comm_plan = None
+        self.kernel_plan: Dict[str, Dict[str, Any]] = {}
+        #: ``check`` switch for the compile mode's cross-validation: when
+        #: set, synthesized specs *replace* hand-written ones so the two
+        #: can be compared bit-identically.
+        self._synth_force = False
+        if self.analysis == "compile":
+            from repro.analysis.compile.commplan import CommunicationPlan
+            from repro.analysis.compile.synthesize import synthesis_forced
+
+            self.comm_plan = CommunicationPlan()
+            self.flashware.comm_plan = self.comm_plan
+            self._synth_force = synthesis_forced()
         #: Analysis diagnostics: static fallbacks, ``check``-mode
         #: disagreements, vectorized-spec access mismatches.
         self.diagnostics: List[str] = []
@@ -285,6 +301,72 @@ class FlashEngine:
         _program.record_diagnostic(message)
 
     # ------------------------------------------------------------------
+    # Static kernel compiler (analysis="compile")
+    # ------------------------------------------------------------------
+    def _compile_vertex_spec(self, spec, F, M):
+        """Under ``analysis="compile"`` on a vectorizing backend, fill a
+        missing spec (or, under ``_synth_force``, replace the hand one)
+        with a synthesized spec.  Returns ``(spec, origin)`` where origin
+        is ``"hand"``, ``"synthesized"`` or ``None`` (interp)."""
+        if self.analysis != "compile" or not self._vectorize:
+            return spec, ("hand" if spec is not None else None)
+        if spec is not None and not self._synth_force:
+            return spec, "hand"
+        from repro.analysis.compile.synthesize import synthesize_vertex_spec
+
+        synth = synthesize_vertex_spec(F, M)
+        if synth is not None:
+            return synth, "synthesized"
+        return spec, ("hand" if spec is not None else None)
+
+    def _compile_edge_spec(self, kind, spec, edges, F, M, C, R):
+        """Edge-kernel counterpart of :meth:`_compile_vertex_spec`.
+        Synthesis only applies to the plain edge set ``E`` — constructed
+        edge sets never dispatch vectorized anyway."""
+        if self.analysis != "compile" or not self._vectorize:
+            return spec, ("hand" if spec is not None else None)
+        if spec is not None and not self._synth_force:
+            return spec, "hand"
+        if type(edges) is not BaseEdges:
+            return spec, ("hand" if spec is not None else None)
+        from repro.analysis.compile.synthesize import synthesize_edge_spec
+
+        synth = synthesize_edge_spec(kind, F, M, C, R)
+        if synth is not None:
+            return synth, "synthesized"
+        return spec, ("hand" if spec is not None else None)
+
+    def _note_plan(self, kind, label, origin, spec, dispatched) -> None:
+        """Record one kernel's dispatch decision for the plan artifact
+        (``repro plan`` / ``dist_summary``); adaptive kernels may visit
+        both modes, so ``dispatched`` accumulates."""
+        if self.analysis != "compile":
+            return
+        key = f"{kind}:{label or '-'}"
+        entry = self.kernel_plan.get(key)
+        if entry is None:
+            writes: List[str] = []
+            if spec is not None:
+                writes = sorted(spec.declared_access()["writes"])
+            self.kernel_plan[key] = {
+                "kind": kind,
+                "label": label or "-",
+                "origin": origin,
+                "dispatched": bool(dispatched),
+                "writes": writes,
+            }
+        else:
+            entry["dispatched"] = entry["dispatched"] or bool(dispatched)
+            if entry["origin"] is None and origin is not None:
+                entry["origin"] = origin
+                if spec is not None:
+                    entry["writes"] = sorted(spec.declared_access()["writes"])
+        from repro.analysis.compile import plan as _plan
+
+        if _plan.capturing():
+            _plan.note_engine(self)
+
+    # ------------------------------------------------------------------
     # SIZE
     # ------------------------------------------------------------------
     def size(self, subset: VertexSubset) -> int:
@@ -313,17 +395,24 @@ class FlashEngine:
         fw.begin_superstep("vertex_map", label, frontier_in=subset.size())
         if fw.tracer.enabled:
             fw.annotate_span(primitive="VERTEXMAP", F=fn_label(F), M=fn_label(M))
+        spec, spec_origin = self._compile_vertex_spec(spec, F, M)
         if self.auto_analyze and self.analysis != "off":
-            classification = analyze_vertex_map(self, subset, F, M, label=label)
+            classification = analyze_vertex_map(
+                self, subset, F, M, label=label, spec=spec
+            )
             if spec is not None:
                 validate_spec(self, "vertex_map", spec, classification)
-        if (
+        use_vec = (
             spec is not None
             and self._vectorize
             and _vec.vertex_map_supported(self, spec, F, M)
-        ):
+        )
+        self._note_plan("vertex_map", label, spec_origin, spec, use_vec)
+        if use_vec:
             self.metrics.note_backend("vectorized")
             fw.annotate_span(backend="vectorized")
+            if spec_origin == "synthesized":
+                fw.annotate_span(spec="synthesized")
             try:
                 return _vec.run_vertex_map(self, subset, F, M, spec)
             except Exception:
@@ -431,19 +520,27 @@ class FlashEngine:
                 M=fn_label(M),
                 C=fn_label(C),
             )
+        spec, spec_origin = self._compile_edge_spec(
+            "edge_map_dense", spec, edges, F, M, C, None
+        )
         if self.auto_analyze and self.analysis != "off":
             classification = analyze_edge_map(
-                self, "edge_map_dense", subset, edges, F, M, C, None, label=label
+                self, "edge_map_dense", subset, edges, F, M, C, None,
+                label=label, spec=spec,
             )
             if spec is not None:
                 validate_spec(self, "edge_map_dense", spec, classification)
-        if (
+        use_vec = (
             spec is not None
             and self._vectorize
             and _vec.edge_map_supported(self, edges, spec, "dense", F, C)
-        ):
+        )
+        self._note_plan("edge_map_dense", label, spec_origin, spec, use_vec)
+        if use_vec:
             self.metrics.note_backend("vectorized")
             fw.annotate_span(backend="vectorized")
+            if spec_origin == "synthesized":
+                fw.annotate_span(spec="synthesized")
             try:
                 return _vec.run_edge_map_dense(self, subset, spec)
             except Exception:
@@ -545,20 +642,28 @@ class FlashEngine:
                 C=fn_label(C),
                 R=fn_label(R),
             )
+        spec, spec_origin = self._compile_edge_spec(
+            "edge_map_sparse", spec, edges, F, M, C, R
+        )
         if self.auto_analyze and self.analysis != "off":
             classification = analyze_edge_map(
-                self, "edge_map_sparse", subset, edges, F, M, C, R, label=label
+                self, "edge_map_sparse", subset, edges, F, M, C, R,
+                label=label, spec=spec,
             )
             if spec is not None:
                 validate_spec(self, "edge_map_sparse", spec, classification)
-        if (
+        use_vec = (
             spec is not None
             and self._vectorize
             and spec.kind == "reduce"
             and _vec.edge_map_supported(self, edges, spec, "sparse", F, C)
-        ):
+        )
+        self._note_plan("edge_map_sparse", label, spec_origin, spec, use_vec)
+        if use_vec:
             self.metrics.note_backend("vectorized")
             fw.annotate_span(backend="vectorized")
+            if spec_origin == "synthesized":
+                fw.annotate_span(spec="synthesized")
             try:
                 return _vec.run_edge_map_sparse(self, subset, spec)
             except Exception:
@@ -679,9 +784,15 @@ class FlashEngine:
 
     def dist_summary(self) -> Dict[str, Any]:
         """Real-traffic totals of the multi-process executor (empty dict
-        on the inline executor, where no physical messages exist)."""
+        on the inline executor, where no physical messages exist).  Under
+        ``analysis="compile"`` the communication plan and per-kernel
+        dispatch decisions ride along."""
         summarize = getattr(self.flashware, "dist_summary", None)
-        return summarize() if summarize is not None else {}
+        out = summarize() if summarize is not None else {}
+        if self.comm_plan is not None and out:
+            out["comm_plan"] = self.comm_plan.describe()
+            out["kernel_plan"] = {k: dict(v) for k, v in self.kernel_plan.items()}
+        return out
 
     def worker_health(self) -> List[Dict[str, Any]]:
         """Per-rank process health of the worker pool (empty list on the

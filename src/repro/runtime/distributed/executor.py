@@ -421,6 +421,8 @@ class DistSession:
             "commit_entries": 0,
             "reduce_entries": 0,
             "temp_entries": 0,
+            "withheld_entries": 0,
+            "withheld_values": 0,
             "bootstrap_columns": 0,
             "reshipped_columns": 0,
             "reshipped_values": 0,
@@ -446,6 +448,8 @@ class DistSession:
             "commit_entries": 0,
             "reduce_entries": 0,
             "temp_entries": 0,
+            "withheld_entries": 0,
+            "withheld_values": 0,
             "bytes_sent0": self.pool.bytes_sent,
             "bytes_recv0": self.pool.bytes_recv,
         }
@@ -474,6 +478,8 @@ class DistSession:
             "commit_entries": step["commit_entries"],
             "reduce_entries": step["reduce_entries"],
             "temp_entries": step["temp_entries"],
+            "withheld_entries": step["withheld_entries"],
+            "withheld_values": step["withheld_values"],
             "bytes_sent": self.pool.bytes_sent - step["bytes_sent0"],
             "bytes_recv": self.pool.bytes_recv - step["bytes_recv0"],
             "charged_sync_messages": rec.sync_messages,
@@ -482,7 +488,8 @@ class DistSession:
         }
         rec.dist = stats
         for key in ("sync_entries", "extra_entries", "commit_entries",
-                    "reduce_entries", "temp_entries"):
+                    "reduce_entries", "temp_entries", "withheld_entries",
+                    "withheld_values"):
             self.totals[key] += step[key]
         self.totals["worker_cpu_s"] += sum(cpu)
         self.totals["critical_path_s"] += max(cpu) if cpu else 0.0
@@ -516,6 +523,15 @@ class DistSession:
     def ship_column(self, name: str, column: Any) -> None:
         self.totals["bootstrap_columns"] += 1
         self._broadcast("set_column", (name, list(column)))
+
+    def reship_column(self, name: str, column: Any) -> None:
+        """Re-broadcast a full column whose mirror deltas were withheld
+        under a communication plan that has since widened — every
+        worker's copy becomes fresh again before the next kernel runs."""
+        column = list(column)
+        self.totals["reshipped_columns"] += 1
+        self.totals["reshipped_values"] += len(column)
+        self._broadcast("set_column", (name, column))
 
     def mark_critical(self, names: List[str]) -> None:
         self._broadcast("mark_critical", list(names))
@@ -774,6 +790,14 @@ class DistSession:
         critical = fw._critical
         sco = fw.options.sync_critical_only
         nmo = fw.options.necessary_mirrors_only
+        # The compile-mode communication plan: deltas of properties it
+        # proved "neighbor"-scoped may be withheld from workers outside
+        # the vertex's neighbor-mirror set (they hold a mirror no kernel
+        # can read through a graph arc).  Only engaged when the plan is
+        # active and the accounting options make the scope meaningful.
+        plan = getattr(fw, "comm_plan", None)
+        if plan is not None and not (plan.active and sco and nmo):
+            plan = None
         per_worker: List[List[Tuple[int, Dict[str, Any]]]] = [
             [] for _ in range(self.nworkers)
         ]
@@ -791,13 +815,32 @@ class DistSession:
                         staled.add(name)
             else:
                 remote_payload = changed
+            narrow: List[str] = []
+            if plan is not None and not broadcast_all and remote_payload:
+                narrow = [
+                    n for n in remote_payload if plan.scope_of(n) == "neighbor"
+                ]
             has_sync = bool(sync_props)
             for w in range(self.nworkers):
                 if w == owner:
                     per_worker[w].append((vid, changed))
                     self.step_add("commit_entries", 1)
                 elif remote_payload:
-                    per_worker[w].append((vid, remote_payload))
+                    payload = remote_payload
+                    if narrow and w not in scope:
+                        payload = {
+                            n: v for n, v in remote_payload.items()
+                            if n not in narrow
+                        }
+                        self.step_add(
+                            "withheld_values",
+                            len(remote_payload) - len(payload),
+                        )
+                        fw.note_withheld(narrow)
+                        if not payload:
+                            self.step_add("withheld_entries", 1)
+                            continue
+                    per_worker[w].append((vid, payload))
                     if has_sync and w in scope:
                         self.step_add("sync_entries", 1)
                     else:
@@ -881,6 +924,12 @@ class DistributedFlashware(Flashware):
         self.state = state
         state.attach_session(session)
         self.session = session
+        #: Communication-plan reconciliation state (``analysis="compile"``
+        #: sets ``comm_plan`` on this flashware): properties whose mirror
+        #: deltas have been withheld from out-of-scope workers, and the
+        #: plan version those withholdings were sound against.
+        self._withheld_props: Set[str] = set()
+        self._plan_version_synced = 0
 
     # -- lifecycle -------------------------------------------------------
     def begin_superstep(self, kind, label="", frontier_in=0):
@@ -957,6 +1006,33 @@ class DistributedFlashware(Flashware):
                         session.step_add("sync_entries", len(mirrors))
         if fresh:
             session.mark_critical(fresh)
+
+    # -- communication plan (analysis="compile") ------------------------
+    def note_withheld(self, names: Iterable[str]) -> None:
+        """Record that deltas of ``names`` were withheld from some
+        workers — their stale copies must be repaired if the plan ever
+        widens those properties."""
+        self._withheld_props.update(names)
+
+    def sync_comm_plan(self) -> None:
+        """Reconcile withheld columns against the current plan.  Called
+        by the analysis dispatcher *before* each kernel executes: if the
+        plan widened (or deactivated) since the last reconcile, any
+        previously-withheld property that is no longer neighbor-scoped is
+        re-shipped in full, so no kernel ever reads a stale mirror."""
+        plan = getattr(self, "comm_plan", None)
+        session = self.session
+        if plan is None or session is None:
+            return
+        if plan.version == self._plan_version_synced:
+            return
+        for name in sorted(self._withheld_props):
+            if plan.scope_of(name) == "neighbor":
+                continue
+            if self.state.has_property(name):
+                session.reship_column(name, self.state.column(name))
+            self._withheld_props.discard(name)
+        self._plan_version_synced = plan.version
 
     # -- checkpoint / recovery ------------------------------------------
     def checkpoint(self):

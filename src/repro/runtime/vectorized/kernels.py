@@ -19,6 +19,9 @@ interpreted kernels; the parity test sweeps them):
   touched target.
 * dense, no C: every candidate target scans its full in-neighbor list —
   one op per in-arc charged to the target's owner.
+* dense with a scan-invariant general C (``spec.cond``): a C-passing
+  target scans its full in-list; a C-failing target with in-degree > 0
+  costs exactly 1 op (charge, C fails, break).
 * dense with a write-once C (``cond_unvisited``): an already-visited
   target with in-degree > 0 costs exactly 1 op (charge, C fails,
   break); an unvisited target whose first active in-neighbor sits at
@@ -205,10 +208,16 @@ def vertex_map_supported(engine, spec: VertexMapSpec, F, M) -> bool:
 def edge_map_supported(engine, edges, spec: EdgeMapSpec, mode: str, F, C) -> bool:
     if type(edges) is not BaseEdges:
         return False
+    if spec.only_mode is not None and mode != spec.only_mode:
+        return False
     state = engine.flashware.state
     if spec.f is None and not _always_true(F):
         return False
-    if spec.cond_unvisited is NOT_SET and not _always_true(C):
+    if (
+        spec.cond_unvisited is NOT_SET
+        and spec.cond is None
+        and not _always_true(C)
+    ):
         return False
     for name in spec.reads:
         if state.array(name) is None:
@@ -324,6 +333,13 @@ def run_edge_map_sparse(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
     if spec.cond_unvisited is not NOT_SET:
         eligible = state.array(spec.prop)[dsts] == spec.cond_unvisited
         srcs, dsts, pos = srcs[eligible], dsts[eligible], pos[eligible]
+    elif spec.cond is not None:
+        # general C: evaluated per arc against the committed snapshot of
+        # the target, exactly like the interpreted per-arc WorkingView
+        eligible = np.asarray(
+            spec.cond(VertexBatch(ctx, state, dsts)), dtype=bool
+        )
+        srcs, dsts, pos = srcs[eligible], dsts[eligible], pos[eligible]
 
     batch = EdgeBatch(ctx, state, srcs, dsts, pos, "out")
     vals = _eval_value(spec, batch)
@@ -353,8 +369,14 @@ def run_edge_map_sparse(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
     col = state.array(spec.prop)
     acc = col[out_ids].astype(np.result_type(col.dtype, vals.dtype), copy=True)
     if len(dsts):
-        slot = np.searchsorted(out_ids, dsts)
-        _UFUNCS[spec.reduce].at(acc, slot, vals)
+        if spec.reduce == "last":
+            # every touched target keeps the temp of its last arc in fold
+            # order — the result of an R that returns its temp unchanged
+            last_pos = np.searchsorted(dsts, out_ids, side="right") - 1
+            acc[:] = vals[last_pos]
+        else:
+            slot = np.searchsorted(out_ids, dsts)
+            _UFUNCS[spec.reduce].at(acc, slot, vals)
 
     # distinct (target, contributing partition) pairs for the reduce round
     if len(dsts):
@@ -394,17 +416,29 @@ def run_edge_map_dense(engine, subset, spec: EdgeMapSpec) -> VertexSubset:
             return _dense_gather(engine, ctx, state, rec, spec, active)
         if spec.cond_unvisited is not NOT_SET:
             return _dense_unvisited(engine, ctx, state, rec, spec, active)
-        return _dense_full(engine, ctx, state, rec, spec, active)
+        cmask = None
+        if spec.cond is not None:
+            # scan-invariant general C (dispatch requires the condition
+            # reads no written property): one mask over all targets
+            cmask = np.asarray(
+                spec.cond(
+                    VertexBatch(ctx, state, np.arange(ctx.n, dtype=np.int64))
+                ),
+                dtype=bool,
+            )
+        return _dense_full(engine, ctx, state, rec, spec, active, cmask)
     finally:
         frontier[ids] = False
 
 
-def _dense_full(engine, ctx, state, rec, spec, active) -> VertexSubset:
-    """Pull with C = ctrue: every target scans its whole in-list."""
+def _dense_full(engine, ctx, state, rec, spec, active, cmask=None) -> VertexSubset:
+    """Pull with C = ctrue (or a scan-invariant general C): every
+    C-passing target scans its whole in-list; a C-failing target with
+    in-degree > 0 costs exactly one op (charge, C fails, break)."""
     fw = engine.flashware
     srcs, tgts = ctx.in_indices, ctx.in_targets
 
-    arc_idx = np.flatnonzero(active)
+    arc_idx = np.flatnonzero(active if cmask is None else active & cmask[tgts])
     if callable(spec.f):
         batch = EdgeBatch(ctx, state, srcs[arc_idx], tgts[arc_idx], arc_idx, "in")
         keep = np.asarray(spec.f(batch), dtype=bool)
@@ -414,10 +448,16 @@ def _dense_full(engine, ctx, state, rec, spec, active) -> VertexSubset:
     vals = _eval_value(spec, batch)
     col = state.array(spec.prop)
     acc = col.astype(np.result_type(col.dtype, vals.dtype), copy=True)
-    # ascending arc order == the interpreted per-target sequential fold
-    _UFUNCS[spec.reduce].at(acc, tgts[arc_idx], vals)
-
     touched = np.unique(tgts[arc_idx])
+    if spec.reduce == "last":
+        # in-CSR arc order is target-major ascending, so the last arc of
+        # each target's slice is the interpreted scan's final M
+        last_pos = np.searchsorted(tgts[arc_idx], touched, side="right") - 1
+        acc[touched] = vals[last_pos]
+    else:
+        # ascending arc order == the interpreted per-target sequential fold
+        _UFUNCS[spec.reduce].at(acc, tgts[arc_idx], vals)
+
     if spec.f == "improve":
         if spec.reduce == "min":
             applied = touched[acc[touched] < col[touched]]
@@ -426,8 +466,14 @@ def _dense_full(engine, ctx, state, rec, spec, active) -> VertexSubset:
     else:
         applied = touched
 
-    # full scan: one op per in-arc, charged to the target's owner
-    per_worker = np.bincount(ctx.owners, weights=ctx.in_degrees, minlength=ctx.P)
+    if cmask is None:
+        # full scan: one op per in-arc, charged to the target's owner
+        per_worker = np.bincount(
+            ctx.owners, weights=ctx.in_degrees, minlength=ctx.P
+        )
+    else:
+        t_ops = np.where(cmask, ctx.in_degrees, np.minimum(ctx.in_degrees, 1))
+        per_worker = np.bincount(ctx.owners, weights=t_ops, minlength=ctx.P)
     _add_ops(rec, per_worker.astype(np.int64))
 
     fw.barrier_columnar(

@@ -16,7 +16,10 @@ contributes a value to the target's ``prop``, combined by ``reduce``"*:
 * ``value`` — per-edge contribution: a scalar, or a callable receiving an
   edge-batch view (``k.sp(name)`` / ``k.dp(name)`` source/target property
   arrays, ``k.w`` edge weights, ``k.src_out_deg``) returning an array;
-* ``reduce`` — ``"min" | "max" | "sum" | "or"``, matching the R callable;
+* ``reduce`` — ``"min" | "max" | "sum" | "or" | "last"``, matching the R
+  callable (``"last"`` keeps the temp of the last qualifying arc in
+  adjacency order — the semantics of a first-writer-wins fold whose R
+  returns its temp unchanged);
 * ``f`` — edge filter: ``None`` (all edges from active sources),
   ``"improve"`` (keep edges whose value beats the target's current
   ``prop`` under the reduce order — CC/SSSP relaxation), or a callable
@@ -24,6 +27,15 @@ contributes a value to the target's ``prop``, combined by ``reduce``"*:
 * ``cond_unvisited`` — when set, the C condition is
   ``target.prop == sentinel`` (BFS-style write-once visit); the committed
   value must differ from the sentinel;
+* ``cond`` — a general C condition: a callable receiving a vertex-batch
+  view of the candidate *targets* and returning a boolean mask.  Mutually
+  exclusive with ``cond_unvisited``.  In dense (pull) mode the condition
+  must not read any property the spec writes (the interpreter re-checks
+  C against the live working view mid-scan; dispatch is only sound when
+  the mask is scan-invariant) — specs that cannot promise this set
+  ``only_mode="sparse"``;
+* ``only_mode`` — restrict dispatch to one traversal direction
+  (``"sparse"`` / ``"dense"``); ``None`` allows both;
 * ``kind="gather"`` — instead of reducing scalars, append each edge's
   ``value`` to the target's list-valued ``prop`` (LPA gossip).  Dense
   (pull) mode only.
@@ -76,7 +88,7 @@ class _NotSet:
 
 NOT_SET = _NotSet()
 
-REDUCERS = ("min", "max", "sum", "or")
+REDUCERS = ("min", "max", "sum", "or", "last")
 
 
 @dataclass(frozen=True)
@@ -88,6 +100,8 @@ class EdgeMapSpec:
     value: Any = None  # scalar or callable(edge_view) -> array
     f: Any = None  # None | "improve" | callable(edge_view) -> bool mask
     cond_unvisited: Any = NOT_SET
+    cond: Optional[Callable] = None  # callable(target_vertex_view) -> bool mask
+    only_mode: Optional[str] = None  # None | "sparse" | "dense"
     kind: str = "reduce"  # "reduce" | "gather"
     reads: Tuple[str, ...] = ()
     raw_reads: Tuple[str, ...] = ()
@@ -113,6 +127,10 @@ class EdgeMapSpec:
             raise ValueError("f='improve' requires an ordered reduce (min/max)")
         if self.value is None and self.kind == "reduce":
             raise ValueError("EdgeMapSpec needs a value (scalar or callable)")
+        if self.cond is not None and self.cond_unvisited is not NOT_SET:
+            raise ValueError("cond and cond_unvisited are mutually exclusive")
+        if self.only_mode not in (None, "sparse", "dense"):
+            raise ValueError(f"unknown only_mode {self.only_mode!r}")
 
 
 @dataclass(frozen=True)

@@ -265,11 +265,16 @@ class TestShippedApps:
         with pytest.raises(ValueError):
             lint_app("nosuch")
 
-    def test_mm_projection_reduce_is_warning_only(self):
+    def test_mm_projection_reduce_declared_last_is_clean(self):
+        # mm_opt's match kernels register a spec with reduce="last",
+        # turning the order-dependent ``return t`` fold into a declared
+        # contract — the noncommutative-reduce warning is suppressed.
         findings = lint_app("mm")
-        assert findings, "mm's first-writer-wins reduce should warn"
-        assert {f.severity for f in findings} == {"warning"}
-        assert {f.rule for f in findings} == {"noncommutative-reduce"}
+        assert findings == []
+
+    def test_bcc_bfs_reduce_declared_last_is_clean(self):
+        findings = lint_app("bcc")
+        assert findings == []
 
 
 class TestLintCLI:
@@ -284,10 +289,9 @@ class TestLintCLI:
     def test_lint_human_output(self, capsys):
         from repro.__main__ import main
 
-        assert main(["lint", "mm"]) == 0  # warnings do not fail the run
+        assert main(["lint", "mm"]) == 0
         out = capsys.readouterr().out
-        assert "noncommutative-reduce" in out
-        assert "0 error(s)" in out
+        assert "0 error(s), 0 warning(s)" in out
 
     def test_lint_requires_apps_or_all(self, capsys):
         from repro.__main__ import main
