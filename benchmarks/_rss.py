@@ -1,0 +1,66 @@
+"""Resident-set-size sampling for the out-of-core benchmark.
+
+``/proc/self/status`` VmHWM is a process-lifetime high-water mark — it
+cannot measure the peak of one phase once an earlier phase (graph
+build, imports) pushed RSS higher.  So peak RSS during a solve is
+measured by sampling ``/proc/self/statm`` from a background thread
+instead: cheap (one small read per sample), phase-scoped, and good
+enough at a few-millisecond period because mapped-block growth is
+gradual (one block per miss), not spiky.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+
+
+def current_rss_bytes() -> int:
+    """Resident set size of this process right now, in bytes."""
+    with open("/proc/self/statm") as f:
+        return int(f.read().split()[1]) * _PAGE_SIZE
+
+
+class RssSampler:
+    """Samples RSS on a background thread while the ``with`` body runs.
+
+    >>> sampler = RssSampler()
+    >>> with sampler:
+    ...     pass  # workload
+    >>> sampler.peak_bytes >= sampler.baseline_bytes
+    True
+    """
+
+    def __init__(self, interval_s: float = 0.002):
+        self.interval_s = interval_s
+        self.baseline_bytes = 0
+        self.peak_bytes = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.peak_bytes = max(self.peak_bytes, current_rss_bytes())
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "RssSampler":
+        self.baseline_bytes = current_rss_bytes()
+        self.peak_bytes = self.baseline_bytes
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.peak_bytes = max(self.peak_bytes, current_rss_bytes())
+
+    @property
+    def delta_bytes(self) -> int:
+        """Peak RSS growth over the phase baseline."""
+        return max(0, self.peak_bytes - self.baseline_bytes)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 
 from repro import load_dataset
 from repro.analysis import paper
@@ -40,9 +41,20 @@ from repro.runtime.tracing import (
     format_trace_summary,
     load_trace,
 )
+from repro.runtime.oocore import use_oocore
 from repro.runtime.vectorized.dispatch import BACKENDS
 from repro.serving.loadgen import WORKLOADS
 from repro.suite import APPS, FRAMEWORKS, prepare_graph, run_app
+
+
+def _oocore_ctx(args):
+    """Ambient out-of-core options for the duration of one command —
+    engines built inside the suite/server pick them up via
+    :func:`repro.runtime.oocore.use_oocore`."""
+    budget_mb = getattr(args, "oocore_budget_mb", None)
+    if budget_mb is None:
+        return nullcontext()
+    return use_oocore(budget=int(budget_mb * 1024 * 1024))
 
 
 def cmd_list(_args) -> int:
@@ -111,11 +123,12 @@ def cmd_run(args) -> int:
     graph = _load(args.app, args.dataset, args.scale)
     tracer = _make_tracer(args) if args.trace else None
     try:
-        run = run_app(
-            "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
-            analysis=args.analysis, tracer=tracer, executor=args.executor,
-            **_fault_kwargs(args),
-        )
+        with _oocore_ctx(args):
+            run = run_app(
+                "flash", args.app, graph, num_workers=args.workers, backend=args.backend,
+                analysis=args.analysis, tracer=tracer, executor=args.executor,
+                **_fault_kwargs(args),
+            )
     finally:
         if tracer is not None:
             tracer.close()
@@ -158,6 +171,7 @@ def cmd_compare(args) -> int:
     rows = []
     flash_modes = None
     flash_recovery = None
+    flash_io = None
     fault_kwargs = _fault_kwargs(args)
     for framework in FRAMEWORKS:
         workers = 1 if framework == "ligra" else args.workers
@@ -168,8 +182,9 @@ def cmd_compare(args) -> int:
         kwargs = dict(fault_kwargs) if framework == "flash" else {}
         if framework == "flash":
             kwargs["executor"] = args.executor
-        run = run_app(framework, args.app, graph, num_workers=workers,
-                      backend=backend, analysis=analysis, **kwargs)
+        with _oocore_ctx(args) if framework == "flash" else nullcontext():
+            run = run_app(framework, args.app, graph, num_workers=workers,
+                          backend=backend, analysis=analysis, **kwargs)
         if run is None:
             rows.append([framework, "-", "-", "inexpressible"])
             continue
@@ -182,6 +197,9 @@ def cmd_compare(args) -> int:
             flash_modes = run.metrics.mode_choices
             if run.extra.get("recovery"):
                 flash_recovery = (run.extra, cost)
+            if run.metrics.total_blocks_read:
+                flash_io = (run.metrics.total_blocks_read,
+                            run.metrics.total_bytes_read, cost.io)
         rows.append(
             [
                 name,
@@ -194,6 +212,10 @@ def cmd_compare(args) -> int:
                        title=f"{args.app} on {args.dataset} ({graph})"))
     if flash_modes is not None:
         print(f"flash EDGEMAP mode choices: {flash_modes}")
+    if flash_io is not None:
+        blocks, nbytes, io_cost = flash_io
+        print(f"flash out-of-core I/O: {blocks} block read(s), {nbytes}B "
+              f"({io_cost * 1e3:.3f}ms simulated)")
     if flash_recovery is not None:
         extra, cost = flash_recovery
         print("flash fault tolerance:")
@@ -308,23 +330,24 @@ def cmd_serve(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     tracer = _make_tracer(args) if args.trace else None
     try:
-        report = run_load(
-            graph,
-            clients=args.clients,
-            requests_per_client=args.requests,
-            workload=args.workload,
-            batching=not args.no_batching,
-            caching=not args.no_caching,
-            batch_window=args.batch_window,
-            max_batch=args.max_batch,
-            queue_depth=args.queue_depth,
-            engine_pool=args.engine_pool,
-            num_workers=args.workers,
-            backend=args.backend,
-            deadline=args.deadline,
-            seed=args.seed,
-            tracer=tracer,
-        )
+        with _oocore_ctx(args):
+            report = run_load(
+                graph,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                workload=args.workload,
+                batching=not args.no_batching,
+                caching=not args.no_caching,
+                batch_window=args.batch_window,
+                max_batch=args.max_batch,
+                queue_depth=args.queue_depth,
+                engine_pool=args.engine_pool,
+                num_workers=args.workers,
+                backend=args.backend,
+                deadline=args.deadline,
+                seed=args.seed,
+                tracer=tracer,
+            )
     finally:
         if tracer is not None:
             tracer.close()
@@ -407,6 +430,14 @@ def main(argv=None) -> int:
             help="FLASH execution substrate: inline (single-process "
                  "simulation) or mp (one real worker process per worker, "
                  "with actual mirror-synchronization traffic)",
+        )
+        p.add_argument(
+            "--oocore-budget-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="memory budget for mapped edge blocks under "
+                 "--backend oocore (default 64 MiB)",
         )
         p.add_argument(
             "--analysis",
@@ -534,6 +565,9 @@ def main(argv=None) -> int:
                    help="FLASH workers per engine")
     p.add_argument("--backend", choices=list(BACKENDS), default=None,
                    help="FLASH execution backend for the worker engines")
+    p.add_argument("--oocore-budget-mb", type=float, default=None, metavar="MB",
+                   help="memory budget for mapped edge blocks under "
+                        "--backend oocore (default 64 MiB)")
     p.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="per-request deadline in seconds")
     p.add_argument("--seed", type=int, default=0)

@@ -42,6 +42,7 @@ from repro.runtime.cluster import ClusterSpec
 from repro.runtime.costmodel import CostBreakdown, CostModel
 from repro.runtime.flashware import Flashware, FlashwareOptions
 from repro.runtime.metrics import Metrics
+from repro.runtime.oocore import kernels as _ooc
 from repro.runtime.tracing import Tracer
 from repro.runtime.vectorized import kernels as _vec
 from repro.runtime.vectorized.dispatch import default_backend, validate_backend
@@ -113,6 +114,9 @@ class FlashEngine:
         remote_promotion: Optional[bool] = None,
         cluster: Optional[ClusterSpec] = None,
         executor: str = "inline",
+        oocore_budget: Optional[int] = None,
+        oocore_interval: Optional[int] = None,
+        oocore_dir: Optional[str] = None,
     ):
         self.graph = graph
         if cluster is not None:
@@ -140,6 +144,10 @@ class FlashEngine:
             backend = default_backend()
         self.backend = validate_backend(backend)
         self._vectorize = backend in ("vectorized", "auto")
+        self._oocore = backend == "oocore"
+        # Columnar backends share typed state and spec-driven dispatch;
+        # they differ only in where the arcs live (RAM vs block shards).
+        self._columnar = self._vectorize or self._oocore
         if executor == "mp":
             from repro.runtime.distributed.executor import DistributedFlashware
 
@@ -155,7 +163,7 @@ class FlashEngine:
                 num_workers,
                 options=options,
                 partition_strategy=partition_strategy,
-                typed_state=self._vectorize,
+                typed_state=self._columnar,
             )
         self._dist = getattr(self.flashware, "session", None)
         # An explicit tracer overrides the ambient one the Flashware
@@ -211,6 +219,18 @@ class FlashEngine:
         self._owner = self.flashware.partition.owner_of
         self._out_degree_cache: Optional[np.ndarray] = None
         self._closed = False
+        #: Out-of-core runtime (block store + scheduler + context); only
+        #: built for ``backend="oocore"``, released by :meth:`close`.
+        self._ooc = None
+        if self._oocore:
+            from repro.runtime.oocore.runtime import OocoreRuntime
+
+            self._ooc = OocoreRuntime(
+                self,
+                budget=oocore_budget,
+                interval=oocore_interval,
+                directory=oocore_dir,
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -308,7 +328,7 @@ class FlashEngine:
         missing spec (or, under ``_synth_force``, replace the hand one)
         with a synthesized spec.  Returns ``(spec, origin)`` where origin
         is ``"hand"``, ``"synthesized"`` or ``None`` (interp)."""
-        if self.analysis != "compile" or not self._vectorize:
+        if self.analysis != "compile" or not self._columnar:
             return spec, ("hand" if spec is not None else None)
         if spec is not None and not self._synth_force:
             return spec, "hand"
@@ -323,7 +343,7 @@ class FlashEngine:
         """Edge-kernel counterpart of :meth:`_compile_vertex_spec`.
         Synthesis only applies to the plain edge set ``E`` — constructed
         edge sets never dispatch vectorized anyway."""
-        if self.analysis != "compile" or not self._vectorize:
+        if self.analysis != "compile" or not self._columnar:
             return spec, ("hand" if spec is not None else None)
         if spec is not None and not self._synth_force:
             return spec, "hand"
@@ -402,19 +422,21 @@ class FlashEngine:
             )
             if spec is not None:
                 validate_spec(self, "vertex_map", spec, classification)
-        use_vec = (
+        use_col = (
             spec is not None
-            and self._vectorize
+            and self._columnar
             and _vec.vertex_map_supported(self, spec, F, M)
         )
-        self._note_plan("vertex_map", label, spec_origin, spec, use_vec)
-        if use_vec:
-            self.metrics.note_backend("vectorized")
-            fw.annotate_span(backend="vectorized")
+        self._note_plan("vertex_map", label, spec_origin, spec, use_col)
+        if use_col:
+            name = "oocore" if self._oocore else "vectorized"
+            self.metrics.note_backend(name)
+            fw.annotate_span(backend=name)
             if spec_origin == "synthesized":
                 fw.annotate_span(spec="synthesized")
+            runner = _ooc.run_vertex_map if self._oocore else _vec.run_vertex_map
             try:
-                return _vec.run_vertex_map(self, subset, F, M, spec)
+                return runner(self, subset, F, M, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
@@ -530,19 +552,23 @@ class FlashEngine:
             )
             if spec is not None:
                 validate_spec(self, "edge_map_dense", spec, classification)
-        use_vec = (
+        use_col = (
             spec is not None
-            and self._vectorize
+            and self._columnar
             and _vec.edge_map_supported(self, edges, spec, "dense", F, C)
         )
-        self._note_plan("edge_map_dense", label, spec_origin, spec, use_vec)
-        if use_vec:
-            self.metrics.note_backend("vectorized")
-            fw.annotate_span(backend="vectorized")
+        self._note_plan("edge_map_dense", label, spec_origin, spec, use_col)
+        if use_col:
+            name = "oocore" if self._oocore else "vectorized"
+            self.metrics.note_backend(name)
+            fw.annotate_span(backend=name)
             if spec_origin == "synthesized":
                 fw.annotate_span(spec="synthesized")
+            runner = (
+                _ooc.run_edge_map_dense if self._oocore else _vec.run_edge_map_dense
+            )
             try:
-                return _vec.run_edge_map_dense(self, subset, spec)
+                return runner(self, subset, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
@@ -652,20 +678,24 @@ class FlashEngine:
             )
             if spec is not None:
                 validate_spec(self, "edge_map_sparse", spec, classification)
-        use_vec = (
+        use_col = (
             spec is not None
-            and self._vectorize
+            and self._columnar
             and spec.kind == "reduce"
             and _vec.edge_map_supported(self, edges, spec, "sparse", F, C)
         )
-        self._note_plan("edge_map_sparse", label, spec_origin, spec, use_vec)
-        if use_vec:
-            self.metrics.note_backend("vectorized")
-            fw.annotate_span(backend="vectorized")
+        self._note_plan("edge_map_sparse", label, spec_origin, spec, use_col)
+        if use_col:
+            name = "oocore" if self._oocore else "vectorized"
+            self.metrics.note_backend(name)
+            fw.annotate_span(backend=name)
             if spec_origin == "synthesized":
                 fw.annotate_span(spec="synthesized")
+            runner = (
+                _ooc.run_edge_map_sparse if self._oocore else _vec.run_edge_map_sparse
+            )
             try:
-                return _vec.run_edge_map_sparse(self, subset, spec)
+                return runner(self, subset, spec)
             except Exception:
                 fw.abort_superstep()
                 raise
@@ -804,15 +834,19 @@ class FlashEngine:
         return session.pool.supervisor.health()
 
     def close(self) -> None:
-        """Release executor resources (worker-session teardown for
-        ``executor='mp'``; a no-op inline).  Idempotent — safe to call
+        """Release executor resources: worker-session teardown for
+        ``executor='mp'``, memory-mapped block handles (and the block
+        store itself, when this engine built it) for
+        ``backend='oocore'``; a no-op inline.  Idempotent — safe to call
         any number of times, so pooled/shared engines (the serving
         layer) and ``finally`` blocks can all close defensively.  The
         engine stays readable (values/metrics) but cannot run further
-        supersteps in mp mode."""
+        supersteps in mp or oocore mode."""
         if self._closed:
             return
         self._closed = True
+        if self._ooc is not None:
+            self._ooc.close()
         if self._dist is not None:
             self._dist.close()
             self._dist = None

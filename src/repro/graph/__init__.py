@@ -23,9 +23,11 @@ from repro.graph.generators import (
     web_graph,
 )
 from repro.graph.io import (
+    load_graph,
     read_adjacency_list,
     read_edge_list,
     read_metis,
+    save_graph,
     write_adjacency_list,
     write_edge_list,
     write_metis,
@@ -45,6 +47,8 @@ __all__ = [
     "road_network",
     "social_network",
     "web_graph",
+    "load_graph",
+    "save_graph",
     "read_adjacency_list",
     "read_edge_list",
     "read_metis",

@@ -1,18 +1,30 @@
-"""Edge-list I/O.
+"""Edge-list I/O and binary graph persistence.
 
 The paper's datasets ship as whitespace-separated edge lists; we support
 the same format (with optional weights and ``#`` comments) so users can
-load their own graphs.
+load their own graphs.  :func:`save_graph` / :func:`load_graph` add a
+binary ``.npz`` round-trip (edge arrays plus the out-CSR adjacency,
+format-versioned and checksummed) for graphs too large to re-parse from
+text.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.graph.graph import Graph
 
 PathLike = Union[str, Path]
+
+#: Bump when the binary on-disk layout changes incompatibly.
+GRAPH_FORMAT_VERSION = 1
+
+_MAGIC = "repro-graph"
 
 
 def read_edge_list(path: PathLike, directed: bool = False, weighted: bool = False) -> Graph:
@@ -124,3 +136,106 @@ def write_metis(graph: Graph, path: PathLike) -> None:
         f.write(f"{graph.num_vertices} {graph.num_edges}\n")
         for v in graph.vertices():
             f.write(" ".join(str(int(u) + 1) for u in graph.out_neighbors(v)) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Binary persistence (.npz with format version + checksum)
+# ----------------------------------------------------------------------
+
+def _npz_checksum(arrays: Dict[str, np.ndarray]) -> int:
+    """CRC32 over every payload array (keys in sorted order, so the
+    digest is independent of insertion order)."""
+    crc = 0
+    for key in sorted(arrays):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc
+
+
+def save_graph(graph: Graph, path: PathLike) -> str:
+    """Write ``graph`` to ``path`` as an uncompressed ``.npz``.
+
+    The file holds the logical edge list (the source of truth the
+    :class:`Graph` constructor consumes) *and* the out-CSR adjacency
+    arrays, so the loader can cross-check that the deterministic CSR
+    rebuild matches what was saved.  Returns the path written (``.npz``
+    is appended when missing, matching :func:`numpy.savez`)."""
+    edges = graph.edges()
+    src = np.fromiter((s for s, _ in edges), dtype=np.int64, count=len(edges))
+    dst = np.fromiter((d for _, d in edges), dtype=np.int64, count=len(edges))
+    out = graph.out_csr
+    payload: Dict[str, np.ndarray] = {
+        "src": src,
+        "dst": dst,
+        "out_indptr": np.asarray(out.indptr, dtype=np.int64),
+        "out_indices": np.asarray(out.indices, dtype=np.int64),
+        "out_arc_ids": np.asarray(out.arc_ids, dtype=np.int64),
+    }
+    if graph.weighted:
+        payload["weights"] = graph.arc_weights(np.arange(len(edges), dtype=np.int64))
+    header = np.array(
+        [GRAPH_FORMAT_VERSION, graph.num_vertices, len(edges), int(graph.directed)],
+        dtype=np.int64,
+    )
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez(
+        path,
+        magic=np.frombuffer(_MAGIC.encode("utf-8"), dtype=np.uint8),
+        header=header,
+        checksum=np.array([_npz_checksum(payload)], dtype=np.int64),
+        **payload,
+    )
+    return path
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a graph written by :func:`save_graph`.
+
+    Raises :class:`ValueError` on a wrong magic, an unsupported format
+    version, a checksum mismatch, or when the CSR rebuilt from the edge
+    list disagrees with the stored CSR arrays."""
+    with np.load(os.fspath(path)) as data:
+        files = set(data.files)
+        if "magic" not in files or bytes(data["magic"]).decode("utf-8", "replace") != _MAGIC:
+            raise ValueError(f"{path}: not a repro graph file")
+        version, num_vertices, num_edges, directed = (int(x) for x in data["header"])
+        if version != GRAPH_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: format version {version} is not supported "
+                f"(expected {GRAPH_FORMAT_VERSION})"
+            )
+        payload = {
+            key: data[key]
+            for key in files
+            if key not in ("magic", "header", "checksum")
+        }
+        stored = int(data["checksum"][0])
+        actual = _npz_checksum(payload)
+        if stored != actual:
+            raise ValueError(
+                f"{path}: checksum mismatch (stored {stored}, computed "
+                f"{actual}) — file corrupted or truncated"
+            )
+    src, dst = payload["src"], payload["dst"]
+    if len(src) != num_edges or len(dst) != num_edges:
+        raise ValueError(f"{path}: edge arrays disagree with header edge count")
+    graph = Graph(
+        num_vertices,
+        zip(src.tolist(), dst.tolist()),
+        directed=bool(directed),
+        weights=payload.get("weights"),
+    )
+    out = graph.out_csr
+    if not (
+        np.array_equal(out.indptr, payload["out_indptr"])
+        and np.array_equal(out.indices, payload["out_indices"])
+        and np.array_equal(out.arc_ids, payload["out_arc_ids"])
+    ):
+        raise ValueError(
+            f"{path}: stored CSR disagrees with the adjacency rebuilt from "
+            "the edge list — file corrupted or written by an incompatible "
+            "implementation"
+        )
+    return graph

@@ -45,6 +45,15 @@ class PartitionMap:
         """For each vertex, the partitions (other than its owner) holding at
         least one in- or out-neighbor — the *necessary mirrors*."""
         g = self._graph
+        hook = getattr(g, "neighbor_partition_mask", None)
+        if hook is not None:
+            # Bulk path for graphs with expensive per-vertex adjacency
+            # (block-paged out-of-core graphs): one streaming pass yields
+            # an (n, P) neighbor-partition mask.
+            mask = np.asarray(hook(self._owner, self._num_partitions), dtype=bool)
+            if g.num_vertices:
+                mask[np.arange(g.num_vertices), self._owner] = False
+            return [frozenset(np.flatnonzero(row).tolist()) for row in mask]
         result: List[FrozenSet[int]] = []
         for v in range(g.num_vertices):
             parts = set(self._owner[g.out_neighbors(v)].tolist())

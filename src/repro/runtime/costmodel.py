@@ -68,6 +68,11 @@ class CostParams:
     # coordination latency (process start + graph re-attach) plus the
     # wire cost of re-shipping its state columns.
     latency_per_respawn: float = 5e-6
+    # Out-of-core I/O: edge-block shards stream from local storage at
+    # ``io_bandwidth_bytes_per_sec`` (NVMe-class sequential read), plus a
+    # fixed mapping latency per block (open + initial page faults).
+    io_bandwidth_bytes_per_sec: float = 2e9
+    latency_per_block: float = 1e-5
 
 
 @dataclass
@@ -75,7 +80,9 @@ class CostBreakdown:
     """Simulated seconds, split the way §V-E splits them, plus the two
     fault-tolerance components: ``checkpoint`` (snapshot writes) and
     ``recovery`` (aborted work, rollback restores, and replayed
-    supersteps — everything a failure-free run would not have spent)."""
+    supersteps — everything a failure-free run would not have spent),
+    and ``io`` (out-of-core edge-block reads; zero for fully resident
+    backends)."""
 
     compute: float = 0.0
     communication: float = 0.0
@@ -83,6 +90,7 @@ class CostBreakdown:
     other: float = 0.0
     checkpoint: float = 0.0
     recovery: float = 0.0
+    io: float = 0.0
 
     @property
     def total(self) -> float:
@@ -93,6 +101,7 @@ class CostBreakdown:
             + self.other
             + self.checkpoint
             + self.recovery
+            + self.io
         )
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
@@ -103,13 +112,14 @@ class CostBreakdown:
             self.other + other.other,
             self.checkpoint + other.checkpoint,
             self.recovery + other.recovery,
+            self.io + other.io,
         )
 
     def fractions(self) -> dict:
         """Each component as a fraction of the total (0 when total is 0)."""
         t = self.total
         keys = ("compute", "communication", "serialization", "other",
-                "checkpoint", "recovery")
+                "checkpoint", "recovery", "io")
         if t == 0:
             return {k: 0.0 for k in keys}
         return {k: getattr(self, k) / t for k in keys}
@@ -180,14 +190,24 @@ class CostModel:
                 + rec.reshipped_values * p.bytes_per_value
                 / p.bandwidth_bytes_per_sec
             )
+        # Out-of-core I/O: block reads stream from local storage and do
+        # not hide behind computation (the kernel consumes each block as
+        # it maps in).
+        io = 0.0
+        if rec.blocks_read or rec.bytes_read:
+            io = (
+                rec.blocks_read * p.latency_per_block
+                + rec.bytes_read / p.io_bandwidth_bytes_per_sec
+            )
+
         if rec.aborted or rec.replayed:
             # Work a failure-free run would not have spent: attribute the
             # whole superstep (compute + exposed comm + serialization +
-            # fixed overhead) to the recovery component.
-            recovery += compute + exposed_comm + serialization + other
+            # fixed overhead + block I/O) to the recovery component.
+            recovery += compute + exposed_comm + serialization + other + io
             return CostBreakdown(0.0, 0.0, 0.0, 0.0, checkpoint, recovery)
         return CostBreakdown(
-            compute, exposed_comm, serialization, other, checkpoint, recovery
+            compute, exposed_comm, serialization, other, checkpoint, recovery, io
         )
 
     def estimate(self, metrics: Metrics, cluster: ClusterSpec) -> CostBreakdown:

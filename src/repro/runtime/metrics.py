@@ -51,6 +51,8 @@ class SuperstepRecord:
     restore_values: int = 0  # checkpoint values read back during recovery
     respawns: int = 0  # worker processes respawned after a real crash
     reshipped_values: int = 0  # property values re-shipped to respawned workers
+    blocks_read: int = 0  # out-of-core edge blocks mapped in (cache misses)
+    bytes_read: int = 0  # bytes of block shards those reads mapped
 
     @property
     def total_ops(self) -> int:
@@ -213,6 +215,17 @@ class Metrics:
     def total_reshipped_values(self) -> int:
         return sum(r.reshipped_values for r in self.records)
 
+    # ------------------------------------------------------------------
+    # Out-of-core I/O totals
+    # ------------------------------------------------------------------
+    @property
+    def total_blocks_read(self) -> int:
+        return sum(r.blocks_read for r in self.records)
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(r.bytes_read for r in self.records)
+
     def summary(self) -> Dict[str, int]:
         """A dict of headline totals (handy for asserts and reports),
         including the reduce/sync split of §IV-A, the EDGEMAP
@@ -235,6 +248,8 @@ class Metrics:
             "restore_values": self.total_restore_values,
             "respawns": self.total_respawns,
             "reshipped_values": self.total_reshipped_values,
+            "blocks_read": self.total_blocks_read,
+            "bytes_read": self.total_bytes_read,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

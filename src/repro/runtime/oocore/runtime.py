@@ -1,0 +1,237 @@
+"""Out-of-core runtime state: options, context, block scheduler.
+
+One :class:`OocoreRuntime` lives on each ``backend="oocore"`` engine.
+It owns (or borrows) the engine's :class:`~repro.graph.blocks.BlockStore`
+— building one from the resident CSR on first use, or reusing the store
+behind a :class:`~repro.graph.blocks.BlockGraph` for graphs that were
+never resident — plus the O(|V|) context arrays the block kernels need
+and the scheduler that streams a destination row's blocks through them.
+
+Because nested engines (BC, SCC, BCC build sub-engines through
+``make_engine``) receive no constructor kwargs, the memory budget /
+interval knobs are ambient: ``use_oocore(budget=..., interval=...)``
+scopes them the same way ``use_backend`` scopes the backend choice.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.blocks import Block, BlockGraph, BlockStore, build_block_store
+
+
+@dataclass(frozen=True)
+class OocoreOptions:
+    """Knobs for the out-of-core backend.
+
+    ``budget``
+        Byte budget for simultaneously mapped blocks (LRU-evicted past
+        it); ``None`` uses :data:`repro.graph.blocks.DEFAULT_BUDGET`.
+    ``interval``
+        Destination/source interval width of the block grid built from a
+        resident graph; ``None`` picks
+        :func:`repro.graph.blocks.default_interval`.
+    ``directory``
+        Where to build the block store; ``None`` uses a temporary
+        directory removed on ``engine.close()``.
+    ``dense_block_threshold``
+        Frontier density (active sources / interval width) at or above
+        which a block is processed in *scan* mode (bitmask over the
+        block's arcs) instead of *select* mode (binary search against
+        the sorted active ids) — M-Flash's dense/sparse bimodal choice.
+        Both modes touch identical arcs; only the selection strategy
+        differs, so results and charged metrics never depend on this.
+    """
+
+    budget: Optional[int] = None
+    interval: Optional[int] = None
+    directory: Optional[str] = None
+    dense_block_threshold: float = 0.125
+
+
+_ambient = OocoreOptions()
+
+
+def current_oocore_options() -> OocoreOptions:
+    """The options new ``backend="oocore"`` engines pick up."""
+    return _ambient
+
+
+@contextmanager
+def use_oocore(**overrides) -> Iterator[OocoreOptions]:
+    """Scope ambient out-of-core options (see :class:`OocoreOptions`).
+
+    Nested engines created inside the block inherit them::
+
+        with use_oocore(budget=1 << 20, interval=4096):
+            with FlashEngine(graph, backend="oocore") as eng:
+                ...
+    """
+    global _ambient
+    prev = _ambient
+    _ambient = replace(prev, **overrides)
+    try:
+        yield _ambient
+    finally:
+        _ambient = prev
+
+
+class OocContext:
+    """O(|V|)-resident arrays the block kernels share.
+
+    The deliberate difference from the vectorized backend's
+    ``_VecContext``: nothing O(|arcs|) is ever materialized — no flat
+    index arrays, no ``in_targets``, no arc-weight columns.  Arcs only
+    exist inside whichever blocks are currently mapped.
+    """
+
+    def __init__(self, engine):
+        g = engine.graph
+        part = engine.flashware.partition
+        self.graph = g
+        self.n = g.num_vertices
+        self.P = part.num_partitions
+        self.owners = part.owners()
+        self.out_degrees = np.asarray(g.out_degrees(), dtype=np.int64)
+        self.in_degrees = np.asarray(g.in_degrees(), dtype=np.int64)
+        self.in_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(self.in_degrees, out=self.in_indptr[1:])
+        self._frontier_mask = np.zeros(self.n, dtype=bool)
+
+
+class OocoreRuntime:
+    """Store lifecycle + block scheduling for one oocore engine."""
+
+    def __init__(
+        self,
+        engine,
+        budget: Optional[int] = None,
+        interval: Optional[int] = None,
+        directory: Optional[str] = None,
+    ):
+        opts = _ambient
+        if budget is None:
+            budget = opts.budget
+        if interval is None:
+            interval = opts.interval
+        if directory is None:
+            directory = opts.directory
+        self.options = opts
+        self.engine = engine
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+
+        graph = engine.graph
+        if isinstance(graph, BlockGraph):
+            # Semi-external graph: the store pre-exists; borrow it.
+            self.store = graph.store
+            self._owns_store = False
+            if budget is not None:
+                self.store.budget = max(1, int(budget))
+        else:
+            if directory is None:
+                self._tmp = tempfile.TemporaryDirectory(prefix="repro-oocore-")
+                directory = self._tmp.name
+            self.store = build_block_store(graph, directory, interval=interval)
+            self._owns_store = True
+            if budget is not None:
+                self.store.budget = max(1, int(budget))
+        self.store.on_miss = self._charge_io
+        self.ctx = OocContext(engine)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _charge_io(self, meta) -> None:
+        """Block-store cache-miss hook: charge the read to the running
+        superstep (adjacency reads between supersteps go uncharged —
+        there is no record to attribute them to)."""
+        rec = self.engine.flashware._current
+        if rec is not None:
+            rec.blocks_read += 1
+            rec.bytes_read += meta.bytes
+
+    # ------------------------------------------------------------------
+    def active_per_interval(self, ids: np.ndarray) -> np.ndarray:
+        """Active-source counts per source interval — the frontier-skip
+        index: blocks in an interval with zero actives are never read."""
+        counts = np.zeros(self.store.num_intervals, dtype=np.int64)
+        if len(ids):
+            counts += np.bincount(
+                ids // self.store.interval, minlength=self.store.num_intervals
+            )
+        return counts
+
+    def stream_row(
+        self,
+        di: int,
+        active_per_si: Optional[np.ndarray],
+        kind: str,
+    ) -> Iterator[Tuple[Block, str]]:
+        """Stream destination row ``di``'s non-empty blocks in ascending
+        source-interval order (== global in-CSR arc order within the
+        row), skipping source intervals with no active vertices.
+
+        Yields ``(block, mode)`` where ``mode`` is the per-block
+        processing strategy (``{kind}.scan`` or ``{kind}.select``)
+        chosen from frontier density.  Emits one ``oocore.block`` span
+        per block streamed; cache misses are charged to the superstep by
+        the store's miss hook.
+        """
+        store = self.store
+        fw = self.engine.flashware
+        tracer = fw.tracer
+        interval = store.interval
+        for meta in store.row_metas(di):
+            si = meta.si
+            if active_per_si is not None and active_per_si[si] == 0:
+                continue
+            if active_per_si is None:
+                mode = f"{kind}.scan"
+            else:
+                width = min(interval, store.num_vertices - si * interval)
+                density = active_per_si[si] / max(width, 1)
+                mode = (
+                    f"{kind}.scan"
+                    if density >= self.options.dense_block_threshold
+                    else f"{kind}.select"
+                )
+            span = (
+                tracer.start(
+                    "oocore.block", cat="oocore",
+                    di=di, si=si, arcs=meta.arcs,
+                )
+                if tracer.enabled
+                else None
+            )
+            block, hit = store.get(di, si)
+            yield block, mode
+            if span is not None:
+                span.end(bytes=meta.bytes, cached=hit, mode=mode)
+
+    @property
+    def num_rows(self) -> int:
+        return self.store.num_intervals
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release mapped blocks; delete the store if this engine built
+        it.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.store.on_miss is self._charge_io:
+            self.store.on_miss = None
+        if self._owns_store:
+            self.store.close()
+            if self._tmp is not None:
+                self._tmp.cleanup()
+                self._tmp = None
+        else:
+            # Borrowed store (BlockGraph): unmap our working set but
+            # leave the store open for other engines over the graph.
+            self.store.release()

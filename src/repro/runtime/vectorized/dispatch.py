@@ -21,6 +21,14 @@ Backends
     Alias for ``vectorized`` — the dispatcher already falls back
     per-superstep, so "use vectorized whenever possible" is the auto
     policy.
+``oocore``
+    Out-of-core block execution: only vertex columns stay resident and
+    edge blocks stream from memory-mapped ``.npy`` shards through
+    block-at-a-time columnar kernels (bit-identical to ``vectorized``).
+    Kernels without a spec fall back to the interpreted path — over
+    block-paged adjacency when the graph itself is out of core.  Budget
+    and block-size knobs are scoped with
+    :func:`repro.runtime.oocore.use_oocore`.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-BACKENDS = ("interp", "vectorized", "auto")
+BACKENDS = ("interp", "vectorized", "auto", "oocore")
 
 _default_backend = "interp"
 

@@ -261,8 +261,12 @@ def _eval_value(spec: EdgeMapSpec, batch: EdgeBatch) -> np.ndarray:
 # ----------------------------------------------------------------------
 # VERTEXMAP
 # ----------------------------------------------------------------------
-def run_vertex_map(engine, subset, F, M, spec: VertexMapSpec) -> VertexSubset:
-    ctx = get_ctx(engine)
+def run_vertex_map(engine, subset, F, M, spec: VertexMapSpec, ctx=None) -> VertexSubset:
+    # VERTEXMAP touches no arcs, so any context exposing the O(|V|)
+    # surface works — the oocore backend passes its arc-free context
+    # here instead of materializing a full _VecContext.
+    if ctx is None:
+        ctx = get_ctx(engine)
     fw = engine.flashware
     state = fw.state
     rec = fw._current

@@ -92,12 +92,22 @@ _FLASH_RUNNERS: Dict[str, Callable] = {
 }
 
 
+def _variant_cost(result: Any) -> float:
+    """Simulated cost used to pick between FLASH variants.  The I/O
+    component is excluded: it reflects where the arcs live (out-of-core
+    vs resident), not the algorithm, and including it would let the
+    oocore backend pick a different variant than vectorized/interp —
+    breaking cross-backend parity."""
+    cost = result.engine.cost()
+    return cost.total - cost.io
+
+
 def _best_of(graph: Graph, num_workers: int, *variants: Callable) -> Any:
     best = None
     best_cost = None
     for variant in variants:
         result = variant(graph, num_workers)
-        cost = result.engine.cost().total
+        cost = _variant_cost(result)
         if best_cost is None or cost < best_cost:
             best, best_cost = result, cost
     return best
@@ -123,7 +133,7 @@ def _run_flash_direct(
             )
             engines.append(engine)
             result = variant(engine, num_workers)
-            cost = result.engine.cost().total
+            cost = _variant_cost(result)
             if best_cost is None or cost < best_cost:
                 best, best_cost = result, cost
         dist = best.engine.dist_summary() if executor == "mp" else None
@@ -161,7 +171,7 @@ def _run_flash_with_recovery(
             store=checkpoint_store() if checkpoint_store else None,
             max_retries=max_retries,
         )
-        cost = report.result.engine.cost().total
+        cost = _variant_cost(report.result)
         if best_cost is None or cost < best_cost:
             if best is not None:
                 best.result.engine.close()

@@ -1,0 +1,220 @@
+"""Block store on-disk format, LRU budget enforcement, and the
+block-paged :class:`BlockGraph` adjacency surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Graph, random_graph
+from repro.graph.blocks import (
+    BLOCK_FORMAT_VERSION,
+    BlockGraph,
+    BlockStore,
+    build_block_store,
+    build_block_store_streamed,
+    default_interval,
+)
+
+
+@pytest.fixture()
+def graph():
+    return random_graph(40, 120, seed=11)
+
+
+@pytest.fixture()
+def store(graph, tmp_path):
+    s = build_block_store(graph, tmp_path / "blocks", interval=8)
+    yield s
+    s.close()
+
+
+# ---------------------------------------------------------------------------
+# Manifest + shard layout
+# ---------------------------------------------------------------------------
+class TestFormat:
+    def test_manifest_fields(self, graph, store, tmp_path):
+        manifest = json.loads((tmp_path / "blocks" / "manifest.json").read_text())
+        assert manifest["format_version"] == BLOCK_FORMAT_VERSION
+        assert manifest["num_vertices"] == graph.num_vertices
+        assert manifest["num_arcs"] == graph.num_arcs
+        assert manifest["num_edges"] == graph.num_edges
+        assert manifest["directed"] == graph.directed
+        assert manifest["weighted"] == graph.weighted
+        assert manifest["interval"] == 8
+        assert manifest["num_intervals"] == 5
+        assert "checksum" in manifest
+        assert sum(b["arcs"] for b in manifest["blocks"]) == graph.num_arcs
+
+    def test_blocks_replay_in_csr(self, graph, store):
+        """Concatenating blocks row-major (di asc, si asc) replays the
+        in-CSR arc sequence — the layout invariant every oocore kernel
+        depends on for bit-identical reductions."""
+        in_csr = graph.in_csr
+        srcs, dsts, poss = [], [], []
+        for di in range(store.num_intervals):
+            for meta in store.row_metas(di):
+                block, _ = store.get(meta.di, meta.si)
+                srcs.append(np.array(block.src))
+                dsts.append(np.array(block.dst))
+                poss.append(np.array(block.pos))
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        pos = np.concatenate(poss)
+        # Within a destination row the arcs of each target are ascending
+        # by global in-CSR position; sorting rows by pos recovers the
+        # exact in-CSR order.
+        order = np.argsort(pos)
+        assert np.array_equal(src[order], in_csr.indices)
+        expected_dst = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), graph.in_degrees()
+        )
+        assert np.array_equal(dst[order], expected_dst)
+
+    def test_checksum_tamper_rejected(self, graph, tmp_path):
+        s = build_block_store(graph, tmp_path / "b", interval=8)
+        s.close()
+        path = tmp_path / "b" / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["num_arcs"] += 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="checksum"):
+            BlockStore(tmp_path / "b")
+
+    def test_version_mismatch_rejected(self, graph, tmp_path):
+        s = build_block_store(graph, tmp_path / "b", interval=8)
+        s.close()
+        path = tmp_path / "b" / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = 99
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format v99 not supported"):
+            BlockStore(tmp_path / "b")
+
+    def test_default_interval_floor(self):
+        assert default_interval(10) == 256
+        assert default_interval(16 * 300) == 300
+
+
+# ---------------------------------------------------------------------------
+# LRU budget
+# ---------------------------------------------------------------------------
+class TestBudget:
+    def test_eviction_bounds_mapped_bytes(self, graph, tmp_path):
+        store = build_block_store(graph, tmp_path / "b", interval=8)
+        try:
+            biggest = max(m.bytes for row in range(store.num_intervals)
+                          for m in store.row_metas(row))
+            store.budget = biggest  # at most one big block resident
+            for di in range(store.num_intervals):
+                for meta in store.row_metas(di):
+                    store.get(meta.di, meta.si)
+                    assert store.mapped_bytes <= max(biggest, meta.bytes)
+            assert store.blocks_evicted > 0
+        finally:
+            store.close()
+
+    def test_cache_hit_within_budget(self, store):
+        meta = store.row_metas(0)[0]
+        _, hit1 = store.get(meta.di, meta.si)
+        _, hit2 = store.get(meta.di, meta.si)
+        assert not hit1 and hit2
+        assert store.blocks_loaded == 1
+
+    def test_close_idempotent(self, graph, tmp_path):
+        store = build_block_store(graph, tmp_path / "b", interval=8)
+        store.get(0, 0)
+        store.close()
+        assert store.closed
+        store.close()  # second close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            store.get(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# BlockGraph adjacency surface
+# ---------------------------------------------------------------------------
+class TestBlockGraph:
+    def test_adjacency_matches_graph(self, graph, store):
+        bg = BlockGraph(store)
+        assert bg.num_vertices == graph.num_vertices
+        assert bg.num_arcs == graph.num_arcs
+        assert bg.num_edges == graph.num_edges
+        assert np.array_equal(bg.out_degrees(), graph.out_degrees())
+        assert np.array_equal(bg.in_degrees(), graph.in_degrees())
+        for v in range(graph.num_vertices):
+            assert np.array_equal(np.sort(bg.in_neighbors(v)),
+                                  np.sort(graph.in_neighbors(v))), v
+            assert np.array_equal(np.sort(bg.out_neighbors(v)),
+                                  np.sort(graph.out_neighbors(v))), v
+
+    def test_directed_adjacency(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)], directed=True)
+        store = build_block_store(g, tmp_path / "b", interval=2)
+        try:
+            bg = BlockGraph(store)
+            assert bg.directed
+            for v in range(3):
+                assert np.array_equal(np.sort(bg.out_neighbors(v)),
+                                      np.sort(g.out_neighbors(v)))
+                assert np.array_equal(np.sort(bg.in_neighbors(v)),
+                                      np.sort(g.in_neighbors(v)))
+        finally:
+            store.close()
+
+    def test_neighbor_partition_mask(self, graph, store):
+        bg = BlockGraph(store)
+        owner = np.arange(graph.num_vertices, dtype=np.int64) % 3
+        mask = bg.neighbor_partition_mask(owner, 3)
+        for v in range(graph.num_vertices):
+            nbrs = set(owner[graph.out_neighbors(v)].tolist())
+            nbrs.update(owner[graph.in_neighbors(v)].tolist())
+            assert set(np.flatnonzero(mask[v]).tolist()) == nbrs, v
+
+
+# ---------------------------------------------------------------------------
+# Streamed (never-resident) builder
+# ---------------------------------------------------------------------------
+class TestStreamedBuilder:
+    def test_matches_resident_builder(self, graph, tmp_path):
+        edges = graph.edges()
+        src = np.array([s for s, _ in edges], dtype=np.int64)
+        dst = np.array([d for _, d in edges], dtype=np.int64)
+
+        def chunks():
+            for lo in range(0, len(edges), 17):
+                yield src[lo:lo + 17], dst[lo:lo + 17]
+
+        a = build_block_store(graph, tmp_path / "resident", interval=8)
+        b = build_block_store_streamed(
+            tmp_path / "streamed", graph.num_vertices, chunks,
+            directed=graph.directed, interval=8,
+        )
+        try:
+            assert b.num_intervals == a.num_intervals
+            assert np.array_equal(b.out_degrees(), a.out_degrees())
+            assert np.array_equal(b.in_degrees(), a.in_degrees())
+            for di in range(a.num_intervals):
+                metas_a, metas_b = a.row_metas(di), b.row_metas(di)
+                assert [(m.di, m.si, m.arcs) for m in metas_a] == \
+                       [(m.di, m.si, m.arcs) for m in metas_b]
+                for meta in metas_a:
+                    ba, _ = a.get(meta.di, meta.si)
+                    bb, _ = b.get(meta.di, meta.si)
+                    assert np.array_equal(ba.src, bb.src)
+                    assert np.array_equal(ba.dst, bb.dst)
+                    assert np.array_equal(ba.pos, bb.pos)
+        finally:
+            a.close()
+            b.close()
+
+    def test_spill_files_cleaned_up(self, tmp_path):
+        def chunks():
+            yield (np.array([0, 1, 2], dtype=np.int64),
+                   np.array([1, 2, 0], dtype=np.int64))
+
+        store = build_block_store_streamed(tmp_path / "b", 3, chunks, interval=2)
+        try:
+            assert not (tmp_path / "b" / "_rows").exists()
+        finally:
+            store.close()

@@ -51,3 +51,94 @@ def test_malformed_line_rejected(tmp_path):
     path.write_text("0\n")
     with pytest.raises(ValueError):
         read_edge_list(path)
+
+
+# ---------------------------------------------------------------------------
+# Binary .npz persistence
+# ---------------------------------------------------------------------------
+
+def test_npz_round_trip_unweighted(tmp_path):
+    from repro import random_graph
+    from repro.graph.io import load_graph, save_graph
+
+    g = random_graph(30, 80, seed=3)
+    path = save_graph(g, tmp_path / "g")
+    assert path.endswith(".npz")
+    back = load_graph(path)
+    assert back.num_vertices == g.num_vertices
+    assert back.directed == g.directed
+    assert not back.weighted
+    assert back.edges() == g.edges()
+    import numpy as np
+    assert np.array_equal(back.out_csr.indptr, g.out_csr.indptr)
+    assert np.array_equal(back.out_csr.indices, g.out_csr.indices)
+
+
+def test_npz_round_trip_weighted_directed(tmp_path):
+    import numpy as np
+
+    from repro import Graph
+    from repro.graph.io import load_graph, save_graph
+
+    g = Graph.from_edges([(1, 0), (2, 1), (0, 2)], directed=True,
+                         weights=[0.5, 2.0, 7.25])
+    path = save_graph(g, tmp_path / "g.npz")
+    back = load_graph(path)
+    assert back.directed and back.weighted
+    assert list(back.weighted_edges()) == list(g.weighted_edges())
+    assert np.array_equal(back.in_csr.indices, g.in_csr.indices)
+
+
+def test_npz_empty_graph(tmp_path):
+    from repro import Graph
+    from repro.graph.io import load_graph, save_graph
+
+    g = Graph(5, [])
+    back = load_graph(save_graph(g, tmp_path / "empty"))
+    assert back.num_vertices == 5
+    assert back.edges() == []
+
+
+def test_npz_checksum_mismatch_rejected(tmp_path):
+    import numpy as np
+
+    from repro import random_graph
+    from repro.graph.io import _MAGIC, load_graph, save_graph
+
+    g = random_graph(20, 50, seed=1)
+    path = save_graph(g, tmp_path / "g")
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays["dst"] = arrays["dst"].copy()
+    arrays["dst"][0] = (arrays["dst"][0] + 1) % g.num_vertices
+    np.savez(path, **arrays)  # tampered payload, stale checksum
+    with pytest.raises(ValueError, match="checksum mismatch"):
+        load_graph(path)
+
+
+def test_npz_version_mismatch_rejected(tmp_path):
+    import numpy as np
+
+    from repro import random_graph
+    from repro.graph.io import load_graph, save_graph
+
+    g = random_graph(20, 50, seed=1)
+    path = save_graph(g, tmp_path / "g")
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays["header"] = arrays["header"].copy()
+    arrays["header"][0] = 99
+    np.savez(path, **arrays)
+    with pytest.raises(ValueError, match="format version"):
+        load_graph(path)
+
+
+def test_npz_wrong_file_rejected(tmp_path):
+    import numpy as np
+
+    from repro.graph.io import load_graph
+
+    path = tmp_path / "other.npz"
+    np.savez(path, something=np.arange(4))
+    with pytest.raises(ValueError, match="not a repro graph file"):
+        load_graph(path)

@@ -68,6 +68,7 @@ def test_summary_keys():
         "replayed_supersteps", "aborted_supersteps",
         "checkpoints", "checkpoint_values", "restore_values",
         "respawns", "reshipped_values",
+        "blocks_read", "bytes_read",
     }
 
 
